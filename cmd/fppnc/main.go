@@ -1,0 +1,171 @@
+// Command fppnc is the FPPN "compiler": it derives the task graph of an
+// application (Section III-A of the DATE 2015 paper), runs the compile-time
+// list scheduler (Section III-B) and prints the resulting static schedule,
+// analysis numbers and optional Graphviz exports.
+//
+// Usage:
+//
+//	fppnc -app signal|fft|fft-overhead|fms|fms-original [-m N]
+//	      [-heuristic alap-edf|b-level|deadline-monotonic|edf]
+//	      [-dot taskgraph] [-gantt] [-table]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/apps/fft"
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func buildApp(name string) (*core.Network, error) {
+	switch name {
+	case "signal":
+		return signal.New(), nil
+	case "fft":
+		return fft.New(), nil
+	case "fft-overhead":
+		return fft.NewWithOverheadJob(), nil
+	case "fms":
+		return fms.New(), nil
+	case "fms-original":
+		return fms.NewConfig(fms.Original()), nil
+	default:
+		return nil, fmt.Errorf("unknown application %q (want signal, fft, fft-overhead, fms, fms-original)", name)
+	}
+}
+
+func parseHeuristic(name string) (sched.Heuristic, error) {
+	for _, h := range sched.Heuristics {
+		if h.String() == name {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", name)
+}
+
+func main() {
+	app := flag.String("app", "signal", "application: signal, fft, fft-overhead, fms, fms-original")
+	m := flag.Int("m", 2, "number of processors")
+	heuristic := flag.String("heuristic", "alap-edf", "schedule priority: alap-edf, b-level, deadline-monotonic, edf")
+	dot := flag.String("dot", "", "emit Graphviz for: taskgraph, network")
+	gantt := flag.Bool("gantt", true, "print the ASCII Gantt chart")
+	table := flag.Bool("table", false, "print the schedule table")
+	width := flag.Int("width", 100, "Gantt chart width")
+	buffers := flag.Bool("buffers", false, "print FIFO buffer-capacity bounds")
+	compare := flag.Bool("compare", false, "print the heuristic ablation table")
+	jsonOut := flag.String("json", "", "emit JSON for: network, taskgraph, schedule")
+	flag.Parse()
+
+	if err := run(*app, *m, *heuristic, *dot, *jsonOut, *gantt, *table, *buffers, *compare, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "fppnc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, m int, heuristic, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
+	net, err := buildApp(app)
+	if err != nil {
+		return err
+	}
+	h, err := parseHeuristic(heuristic)
+	if err != nil {
+		return err
+	}
+	if dot == "network" {
+		fmt.Println(export.NetworkDOT(net))
+		return nil
+	}
+	if jsonOut == "network" {
+		text, err := export.MarshalIndent(export.Network(net))
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	}
+	fmt.Printf("application %s: %d processes, %d channels\n",
+		net.Name, len(net.Processes()), len(net.Channels()))
+	for _, p := range net.Processes() {
+		fmt.Printf("  %v (C=%vs)\n", p, p.WCET)
+	}
+
+	tg, err := taskgraph.Derive(net)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tg.Summary())
+	if err := tg.CheckSchedulable(m); err != nil {
+		fmt.Printf("necessary condition (Prop. 3.1) FAILS on %d processors: %v\n", m, err)
+	} else {
+		fmt.Printf("necessary condition (Prop. 3.1) holds on %d processors\n", m)
+	}
+	if dot == "taskgraph" {
+		fmt.Println(tg.DOT())
+		return nil
+	}
+	if jsonOut == "taskgraph" {
+		text, err := export.MarshalIndent(export.TaskGraph(tg))
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	}
+	if buffers {
+		rep, err := analysis.BufferBounds(net, 3, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("FIFO buffer bounds (3 hyperperiods, no sporadic events):")
+		for _, c := range net.Channels() {
+			if c.Kind != core.FIFO {
+				continue
+			}
+			fmt.Printf("  %-14s %d slots\n", c.Name, rep.Bound(c.Name))
+		}
+		if len(rep.Unbalanced) > 0 {
+			fmt.Println("  UNBALANCED channels:", rep.Unbalanced)
+		}
+	}
+	if compare {
+		stats, err := analysis.CompareHeuristics(tg, m)
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.Table(stats))
+	}
+
+	s, err := sched.ListSchedule(tg, m, h)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		fmt.Printf("schedule (%v) INFEASIBLE: %v\n", h, err)
+		fmt.Printf("  %d deadline misses in the static schedule\n", len(s.Misses()))
+	} else {
+		fmt.Printf("feasible schedule (%v) on %d processors, makespan %vs\n", h, m, s.Makespan())
+	}
+	if jsonOut == "schedule" {
+		text, err := export.MarshalIndent(export.Schedule(s))
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	}
+	if table {
+		fmt.Print(s.Table())
+	}
+	if gantt {
+		fmt.Print(s.Gantt(width))
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestBuildApp(t *testing.T) {
+	for _, name := range []string{"signal", "fft", "fft-overhead", "fms", "fms-original"} {
+		net, err := buildApp(name)
+		if err != nil || net == nil {
+			t.Errorf("buildApp(%s): %v", name, err)
+		}
+	}
+	if _, err := buildApp("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestParseHeuristic(t *testing.T) {
+	for _, name := range []string{"alap-edf", "b-level", "deadline-monotonic", "edf"} {
+		if _, err := parseHeuristic(name); err != nil {
+			t.Errorf("parseHeuristic(%s): %v", name, err)
+		}
+	}
+	if _, err := parseHeuristic("magic"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	cases := []struct {
+		app             string
+		m               int
+		dot, json       string
+		gantt, tbl      bool
+		buffers, compar bool
+	}{
+		{"signal", 2, "", "", true, true, true, true},
+		{"signal", 2, "taskgraph", "", false, false, false, false},
+		{"signal", 2, "network", "", false, false, false, false},
+		{"signal", 2, "", "network", false, false, false, false},
+		{"signal", 2, "", "taskgraph", false, false, false, false},
+		{"signal", 2, "", "schedule", false, false, false, false},
+		{"fft", 1, "", "", true, false, false, false}, // infeasible branch
+	}
+	for _, c := range cases {
+		if err := run(c.app, c.m, "alap-edf", c.dot, c.json, c.gantt, c.tbl, c.buffers, c.compar, 60); err != nil {
+			t.Errorf("run(%+v): %v", c, err)
+		}
+	}
+	if err := run("ghost", 1, "alap-edf", "", "", false, false, false, false, 60); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("signal", 1, "magic", "", "", false, false, false, false, 60); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package fppn is a Go implementation of Fixed-Priority Process Networks
+// (FPPN), the deterministic model of computation for real-time
+// multiprocessor applications introduced by Poplavko, Socci, Bourgos,
+// Bensalem and Bozga in "Models for Deterministic Execution of Real-Time
+// Multiprocessor Applications" (DATE 2015).
+//
+// The package is a façade over the implementation packages and exposes the
+// full tool flow of the paper:
+//
+//	net := fppn.NewNetwork("app")            // model an FPPN
+//	net.AddPeriodic("prod", fppn.Ms(100), fppn.Ms(100), fppn.Ms(10), body)
+//	net.AddPeriodic("cons", fppn.Ms(100), fppn.Ms(100), fppn.Ms(10), body2)
+//	net.Connect("prod", "cons", "data", fppn.FIFO)
+//	net.Priority("prod", "cons")
+//
+//	ref, _ := fppn.RunZeroDelay(net, horizon, fppn.ZeroDelayOptions{...})
+//
+//	tg, _ := fppn.DeriveTaskGraph(net)        // Section III-A
+//	s, _ := fppn.FindFeasible(tg, 2)          // Section III-B
+//	rep, _ := fppn.Run(s, fppn.RunConfig{Frames: 10}) // Section IV
+//
+//	prog, _ := fppn.GenerateTA(s, fppn.TAConfig{Frames: 10}) // Section V tool flow
+//
+// Determinism (Proposition 2.1) and runtime correctness (Proposition 4.1)
+// are checkable by comparing Report.Outputs against the zero-delay
+// reference with fppn.OutputsEqual.
+package fppn
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rational"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+	"repro/internal/unisched"
+)
+
+// Time is an exact rational time stamp or duration, in seconds.
+type Time = rational.Rat
+
+// Ms returns a Time of n milliseconds.
+func Ms(n int64) Time { return rational.Milli(n) }
+
+// Seconds returns a Time of n seconds.
+func Seconds(n int64) Time { return rational.FromInt(n) }
+
+// TimeOf returns the exact rational num/den seconds.
+func TimeOf(num, den int64) Time { return rational.New(num, den) }
+
+// Model-of-computation types (package internal/core).
+type (
+	// Network is a fixed-priority process network under construction.
+	Network = core.Network
+	// Process is one FPPN process.
+	Process = core.Process
+	// Channel is an internal channel description.
+	Channel = core.Channel
+	// Generator is an event generator (periodic or sporadic).
+	Generator = core.Generator
+	// Behavior is the functional body of a process.
+	Behavior = core.Behavior
+	// BehaviorFunc adapts a function to Behavior.
+	BehaviorFunc = core.BehaviorFunc
+	// JobContext is the channel-access interface passed to behaviours.
+	JobContext = core.JobContext
+	// Value is a data sample.
+	Value = core.Value
+	// Sample is one external-channel sample.
+	Sample = core.Sample
+	// Trace is an execution action trace.
+	Trace = core.Trace
+	// ZeroDelayOptions configures the reference executor.
+	ZeroDelayOptions = core.ZeroDelayOptions
+	// ZeroDelayResult is the reference executor's outcome.
+	ZeroDelayResult = core.ZeroDelayResult
+	// Machine executes jobs against shared channel state.
+	Machine = core.Machine
+)
+
+// Channel kinds and generator kinds.
+const (
+	// FIFO is a first-in-first-out channel.
+	FIFO = core.FIFO
+	// Blackboard is a last-value channel.
+	Blackboard = core.Blackboard
+	// Periodic generators fire bursts every period.
+	Periodic = core.Periodic
+	// Sporadic generators fire at most Burst events per Period window.
+	Sporadic = core.Sporadic
+)
+
+// NewNetwork returns an empty network with the given name.
+func NewNetwork(name string) *Network { return core.NewNetwork(name) }
+
+// RunZeroDelay executes the network under the zero-delay semantics of
+// Section II — the functional-determinism reference.
+func RunZeroDelay(net *Network, horizon Time, opts ZeroDelayOptions) (*ZeroDelayResult, error) {
+	return core.RunZeroDelay(net, horizon, opts)
+}
+
+// OutputsEqual compares two external-output maps value-for-value (time
+// stamps are ignored: the real-time semantics legally produces the same
+// values at different instants than the zero-delay one).
+func OutputsEqual(a, b map[string][]Sample) bool { return core.SamplesEqual(a, b) }
+
+// DiffOutputs describes the first difference between two output maps, or
+// returns "".
+func DiffOutputs(a, b map[string][]Sample) string { return core.DiffSamples(a, b) }
+
+// Task-graph types (package internal/taskgraph).
+type (
+	// TaskGraph is a derived task graph (Definition 3.1).
+	TaskGraph = taskgraph.TaskGraph
+	// Job is a task-graph node p[k] with (A_i, D_i, C_i).
+	Job = taskgraph.Job
+)
+
+// DeriveTaskGraph derives the static task graph of a schedulable network
+// over one hyperperiod (Section III-A).
+func DeriveTaskGraph(net *Network) (*TaskGraph, error) { return taskgraph.Derive(net) }
+
+// Scheduling types (package internal/sched).
+type (
+	// Schedule is a static schedule (µ_i, s_i per job).
+	Schedule = sched.Schedule
+	// Heuristic selects the schedule-priority order SP.
+	Heuristic = sched.Heuristic
+	// GanttEntry is one executed interval on a processor.
+	GanttEntry = sched.GanttEntry
+)
+
+// Schedule-priority heuristics.
+const (
+	// ALAPEDF is EDF on precedence-adjusted (ALAP) deadlines.
+	ALAPEDF = sched.ALAPEDF
+	// BLevel prefers jobs heading the longest WCET chains.
+	BLevel = sched.BLevel
+	// DeadlineMonotonic orders by relative deadline.
+	DeadlineMonotonic = sched.DeadlineMonotonic
+	// EDF orders by nominal absolute deadline.
+	EDF = sched.EDF
+)
+
+// ListSchedule runs the non-preemptive list scheduler on m processors
+// (Section III-B). The result may be infeasible; check Schedule.Validate.
+func ListSchedule(tg *TaskGraph, m int, h Heuristic) (*Schedule, error) {
+	return sched.ListSchedule(tg, m, h)
+}
+
+// FindFeasible tries every heuristic and returns the first feasible
+// schedule on m processors.
+func FindFeasible(tg *TaskGraph, m int) (*Schedule, error) { return sched.FindFeasible(tg, m) }
+
+// MinProcessors finds the smallest processor count (up to max) admitting a
+// feasible schedule.
+func MinProcessors(tg *TaskGraph, max int) (*Schedule, error) {
+	return sched.MinProcessors(tg, max)
+}
+
+// Platform types (package internal/platform).
+type (
+	// OverheadModel reproduces the paper's frame-management overheads.
+	OverheadModel = platform.OverheadModel
+	// ExecModel yields actual execution times per job instance.
+	ExecModel = platform.ExecModel
+)
+
+// MPPAFFTOverhead is the overhead measured in the paper's FFT experiment:
+// 41 ms before the first frame, 20 ms before every later one.
+func MPPAFFTOverhead() OverheadModel { return platform.MPPAFFTOverhead() }
+
+// WCETExec runs every job at its worst-case execution time.
+func WCETExec() ExecModel { return platform.WCETExec() }
+
+// JitterExec draws deterministic per-instance execution times in
+// [lo·C, C], modelling measurement-based WCET estimation.
+func JitterExec(seed int64, lo Time) (ExecModel, error) { return platform.JitterExec(seed, lo) }
+
+// Runtime types (package internal/rt).
+type (
+	// RunConfig parameterizes a runtime execution.
+	RunConfig = rt.Config
+	// Report is a runtime execution report.
+	Report = rt.Report
+	// Miss is a runtime deadline violation.
+	Miss = rt.Miss
+)
+
+// Run executes the online static-order policy of Section IV as an exact
+// discrete-event computation.
+func Run(s *Schedule, cfg RunConfig) (*Report, error) { return rt.Run(s, cfg) }
+
+// RunConcurrent executes the policy with one goroutine per processor
+// against a virtual clock — determinism under real concurrency.
+func RunConcurrent(s *Schedule, cfg RunConfig) (*Report, error) { return rt.RunConcurrent(s, cfg) }
+
+// Code-generation types (package internal/codegen).
+type (
+	// TAConfig parameterizes FPPN -> timed-automata generation.
+	TAConfig = codegen.Config
+	// TAProgram is a generated timed-automata system.
+	TAProgram = codegen.Program
+)
+
+// GenerateTA translates the network and its schedule into a network of
+// timed automata, the paper's prototype tool flow.
+func GenerateTA(s *Schedule, cfg TAConfig) (*TAProgram, error) { return codegen.Generate(s, cfg) }
+
+// Baseline types (package internal/unisched).
+type (
+	// UniPriority is a fixed uniprocessor priority assignment.
+	UniPriority = unisched.Priority
+	// UniFunctionalResult is the outcome of the idealized uniprocessor run.
+	UniFunctionalResult = unisched.FunctionalResult
+)
+
+// RateMonotonic derives rate-monotonic uniprocessor priorities.
+func RateMonotonic(net *Network) UniPriority { return unisched.RateMonotonic(net) }
+
+// PriorityConsistent checks that uniprocessor priorities agree with the
+// functional-priority DAG — the condition under which the legacy system and
+// the FPPN are functionally equivalent.
+func PriorityConsistent(net *Network, pr UniPriority) error { return unisched.Consistent(net, pr) }
+
+// RunUniprocessor executes the idealized fixed-priority uniprocessor
+// baseline (jobs ordered by release time, then priority).
+func RunUniprocessor(net *Network, horizon Time, pr UniPriority,
+	events map[string][]Time, inputs map[string][]Value) (*UniFunctionalResult, error) {
+	return unisched.RunFunctional(net, horizon, pr, events, inputs, false)
+}

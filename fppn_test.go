@@ -1,0 +1,197 @@
+package fppn_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	fppn "repro"
+)
+
+// buildPipeline creates a small sensor -> filter -> actuator pipeline with
+// a sporadic gain configurator, exercising the whole public API.
+func buildPipeline() *fppn.Network {
+	n := fppn.NewNetwork("pipeline")
+	n.AddPeriodic("sensor", fppn.Ms(100), fppn.Ms(100), fppn.Ms(10),
+		fppn.BehaviorFunc(func(ctx *fppn.JobContext) error {
+			v, ok := ctx.ReadInput("in")
+			if !ok {
+				v = 0
+			}
+			ctx.Write("raw", v)
+			return nil
+		}))
+	n.AddPeriodic("filter", fppn.Ms(100), fppn.Ms(100), fppn.Ms(20),
+		fppn.BehaviorFunc(func(ctx *fppn.JobContext) error {
+			gain := 1
+			if g, ok := ctx.Read("gain"); ok {
+				gain = g.(int)
+			}
+			if v, ok := ctx.Read("raw"); ok {
+				ctx.Write("filtered", v.(int)*gain)
+			}
+			return nil
+		}))
+	n.AddPeriodic("actuator", fppn.Ms(100), fppn.Ms(100), fppn.Ms(10),
+		fppn.BehaviorFunc(func(ctx *fppn.JobContext) error {
+			if v, ok := ctx.Read("filtered"); ok {
+				ctx.WriteOutput("out", v)
+			}
+			return nil
+		}))
+	n.AddSporadic("gainer", 1, fppn.Ms(300), fppn.Ms(400), fppn.Ms(5),
+		fppn.BehaviorFunc(func(ctx *fppn.JobContext) error {
+			ctx.Write("gain", int(ctx.K())+1)
+			return nil
+		}))
+	n.Connect("sensor", "filter", "raw", fppn.FIFO)
+	n.Connect("filter", "actuator", "filtered", fppn.FIFO)
+	n.ConnectInit("gainer", "filter", "gain", 1)
+	n.PriorityChain("sensor", "filter", "actuator")
+	n.Priority("filter", "gainer")
+	n.Input("sensor", "in")
+	n.Output("actuator", "out")
+	return n
+}
+
+func pipelineInputs(k int) map[string][]fppn.Value {
+	in := make([]fppn.Value, k)
+	for i := range in {
+		in[i] = i + 1
+	}
+	return map[string][]fppn.Value{"in": in}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net := buildPipeline()
+	if err := net.ValidateSchedulable(); err != nil {
+		t.Fatal(err)
+	}
+	events := map[string][]fppn.Time{"gainer": {fppn.Ms(150)}}
+	inputs := pipelineInputs(6)
+
+	ref, err := fppn.RunZeroDelay(net, fppn.Ms(600), fppn.ZeroDelayOptions{
+		SporadicEvents: events, Inputs: inputs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tg, err := fppn.DeriveTaskGraph(buildPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fppn.FindFeasible(tg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fppn.Run(s, fppn.RunConfig{Frames: 6, SporadicEvents: events, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Misses) != 0 {
+		t.Errorf("misses: %v", rep.Misses)
+	}
+	if !fppn.OutputsEqual(ref.Outputs, rep.Outputs) {
+		t.Errorf("runtime diverges: %s", fppn.DiffOutputs(ref.Outputs, rep.Outputs))
+	}
+
+	conc, err := fppn.RunConcurrent(s, fppn.RunConfig{Frames: 6, SporadicEvents: events, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fppn.OutputsEqual(ref.Outputs, conc.Outputs) {
+		t.Errorf("concurrent runtime diverges: %s", fppn.DiffOutputs(ref.Outputs, conc.Outputs))
+	}
+
+	prog, err := fppn.GenerateTA(s, fppn.TAConfig{Frames: 6, SporadicEvents: events, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taRep, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fppn.OutputsEqual(ref.Outputs, taRep.Outputs) {
+		t.Errorf("generated TA system diverges: %s", fppn.DiffOutputs(ref.Outputs, taRep.Outputs))
+	}
+}
+
+func TestPublicAPIUniprocessorBaseline(t *testing.T) {
+	net := buildPipeline()
+	pr := fppn.UniPriority{"sensor": 0, "filter": 1, "actuator": 2, "gainer": 3}
+	if err := fppn.PriorityConsistent(net, pr); err != nil {
+		t.Fatal(err)
+	}
+	inputs := pipelineInputs(4)
+	legacy, err := fppn.RunUniprocessor(buildPipeline(), fppn.Ms(400), pr, nil, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fppn.RunZeroDelay(buildPipeline(), fppn.Ms(400), fppn.ZeroDelayOptions{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fppn.OutputsEqual(legacy.Outputs, ref.Outputs) {
+		t.Errorf("baseline diverges: %s", fppn.DiffOutputs(legacy.Outputs, ref.Outputs))
+	}
+	// Rate-monotonic ranks derived from the network must also be usable.
+	rm := fppn.RateMonotonic(net)
+	if len(rm) != 4 {
+		t.Errorf("RateMonotonic returned %d ranks", len(rm))
+	}
+}
+
+func TestPublicAPITimeHelpers(t *testing.T) {
+	if !fppn.Ms(1500).Equal(fppn.TimeOf(3, 2)) {
+		t.Error("Ms/TimeOf mismatch")
+	}
+	if !fppn.Seconds(2).Equal(fppn.Ms(2000)) {
+		t.Error("Seconds/Ms mismatch")
+	}
+}
+
+func TestPublicAPIErrorsSurface(t *testing.T) {
+	n := fppn.NewNetwork("broken")
+	n.AddPeriodic("a", fppn.Ms(0), fppn.Ms(1), fppn.Ms(1), nil)
+	if _, err := fppn.DeriveTaskGraph(n); err == nil {
+		t.Error("invalid network accepted by DeriveTaskGraph")
+	}
+	if err := n.Validate(); err == nil {
+		t.Error("Validate passed on broken network")
+	}
+	var errNil error
+	if errors.Is(errNil, nil) { // keep errors import honest
+		_ = errNil
+	}
+}
+
+// ExampleRunZeroDelay demonstrates functional determinism on a two-process
+// network.
+func ExampleRunZeroDelay() {
+	n := fppn.NewNetwork("demo")
+	n.AddPeriodic("square", fppn.Ms(100), fppn.Ms(100), fppn.Ms(1),
+		fppn.BehaviorFunc(func(ctx *fppn.JobContext) error {
+			if v, ok := ctx.ReadInput("I"); ok {
+				x := v.(int)
+				ctx.WriteOutput("O", x*x)
+			}
+			return nil
+		}))
+	n.Input("square", "I")
+	n.Output("square", "O")
+	res, err := fppn.RunZeroDelay(n, fppn.Ms(300), fppn.ZeroDelayOptions{
+		Inputs: map[string][]fppn.Value{"I": {2, 3, 4}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range res.Outputs["O"] {
+		fmt.Println(s.Value)
+	}
+	// Output:
+	// 4
+	// 9
+	// 16
+}

@@ -1,0 +1,145 @@
+// Package analysis provides model-level analyses on top of the FPPN core:
+// FIFO buffer-capacity bounds (the "buffering" support the paper lists as
+// future work) and static-schedule statistics used by the ablation
+// experiments.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// BufferReport bounds the FIFO capacities of a network.
+type BufferReport struct {
+	// HighWater is the maximum simultaneous occupancy observed per
+	// channel (blackboards report at most 1).
+	HighWater map[string]int
+	// EndOfFrameBacklog records, per channel, the queue length at each
+	// hyperperiod boundary.
+	EndOfFrameBacklog map[string][]int
+	// Unbalanced lists channels whose end-of-frame backlog grows
+	// strictly from frame to frame: their producers outpace their
+	// consumers and no finite buffer suffices in the long run.
+	Unbalanced []string
+}
+
+// Bound returns the observed capacity bound for one channel.
+func (r *BufferReport) Bound(channel string) int { return r.HighWater[channel] }
+
+// BufferBounds executes the zero-delay semantics over the given number of
+// hyperperiods, tracking per-channel occupancy. For rate-balanced networks
+// the returned high-water marks are the buffer capacities an implementation
+// must provision; channels flagged Unbalanced need back-pressure or a rate
+// fix instead.
+func BufferBounds(net *core.Network, frames int,
+	events map[string][]Time, inputs map[string][]core.Value) (*BufferReport, error) {
+
+	if frames < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 frames to judge balance, got %d", frames)
+	}
+	h, err := core.Hyperperiod(net, nil)
+	if err != nil {
+		return nil, err
+	}
+	horizon := h.MulInt(int64(frames))
+	invs, err := core.GenerateInvocations(net, horizon, events)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := net.LinearExtension(-1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMachine(net, core.MachineOptions{Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	jobs := core.JobSequence(net, invs, rank)
+
+	report := &BufferReport{
+		HighWater:         map[string]int{},
+		EndOfFrameBacklog: map[string][]int{},
+	}
+	chanNames := make([]string, 0, len(net.Channels()))
+	for _, c := range net.Channels() {
+		chanNames = append(chanNames, c.Name)
+	}
+	sort.Strings(chanNames)
+
+	recordBoundary := func() {
+		for _, ch := range chanNames {
+			report.EndOfFrameBacklog[ch] = append(report.EndOfFrameBacklog[ch], m.ChannelLen(ch))
+		}
+	}
+
+	nextBoundary := h
+	for _, j := range jobs {
+		for nextBoundary.LessEq(j.Time) {
+			recordBoundary()
+			nextBoundary = nextBoundary.Add(h)
+		}
+		if err := m.ExecJob(j.Proc, j.Time); err != nil {
+			return nil, err
+		}
+	}
+	// Record the remaining boundaries (including the final one).
+	for !horizon.Less(nextBoundary) {
+		recordBoundary()
+		nextBoundary = nextBoundary.Add(h)
+	}
+
+	report.HighWater = m.ChannelHighWater()
+	for _, ch := range chanNames {
+		backlog := report.EndOfFrameBacklog[ch]
+		if len(backlog) < 2 {
+			continue
+		}
+		growing := true
+		for i := 1; i < len(backlog); i++ {
+			if backlog[i] <= backlog[i-1] {
+				growing = false
+				break
+			}
+		}
+		if growing && backlog[len(backlog)-1] > backlog[0] {
+			report.Unbalanced = append(report.Unbalanced, ch)
+		}
+	}
+	return report, nil
+}
+
+// RateBalanced reports whether producer and consumer token rates match for
+// every FIFO channel, assuming each job writes and reads at most maxPerJob
+// tokens: a static necessary condition for bounded buffers, based only on
+// the process periods and burst sizes. FIFO channels where the writer
+// produces more invocations per hyperperiod than the reader are returned.
+func RateBalanced(net *core.Network) (unbalanced []string, err error) {
+	h, err := core.Hyperperiod(net, nil)
+	if err != nil {
+		return nil, err
+	}
+	perFrame := func(p *core.Process) int64 {
+		return int64(p.Burst()) * h.Div(p.Period()).Floor()
+	}
+	for _, c := range net.Channels() {
+		if c.Kind != core.FIFO {
+			continue
+		}
+		w := net.Process(c.Writer)
+		r := net.Process(c.Reader)
+		if w == nil || r == nil || w.IsSporadic() || r.IsSporadic() {
+			continue
+		}
+		if perFrame(w) > perFrame(r) {
+			unbalanced = append(unbalanced, c.Name)
+		}
+	}
+	sort.Strings(unbalanced)
+	return unbalanced, nil
+}

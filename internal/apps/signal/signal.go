@@ -1,0 +1,179 @@
+// Package signal builds the running example of the DATE 2015 FPPN paper
+// (Fig. 1): an imaginary signal-processing application with a 200 ms input
+// sample period, two filter paths, reconfigurable filter coefficients
+// delivered by a sporadic process, and a feedback loop.
+//
+// The process set, periods, channel kinds and functional priorities follow
+// the figure; the numeric filter behaviours are synthetic but deterministic,
+// so the network exercises every channel kind and the sporadic-server
+// machinery while remaining small enough to inspect by hand. With all WCETs
+// at 25 ms the derived task graph is exactly Fig. 3 of the paper and admits
+// the two-processor schedule of Fig. 4.
+package signal
+
+import (
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+func ms(n int64) core.Time { return rational.Milli(n) }
+
+// Channel and process names, exported so tests and examples can refer to
+// them without string literals.
+const (
+	InputA  = "InputA"
+	FilterA = "FilterA"
+	FilterB = "FilterB"
+	NormA   = "NormA"
+	OutputA = "OutputA"
+	OutputB = "OutputB"
+	CoefB   = "CoefB"
+
+	ChanInA      = "inA"
+	ChanInB      = "inB"
+	ChanFiltered = "filtered"
+	ChanFeedback = "feedback"
+	ChanNormed   = "normed"
+	ChanOutB     = "outB"
+	ChanCoefs    = "coefs"
+
+	ExtInput   = "InputChannel"
+	ExtOutputA = "OutputChannel1"
+	ExtOutputB = "OutputChannel2"
+)
+
+// New builds the Fig. 1 network with 25 ms WCETs (the Fig. 3 assumption)
+// and deterministic behaviours attached.
+func New() *core.Network {
+	return NewWCET(ms(25))
+}
+
+// NewWCET builds the network with a uniform WCET for every process.
+func NewWCET(wcet core.Time) *core.Network {
+	n := core.NewNetwork("fig1-signal")
+
+	n.AddPeriodic(InputA, ms(200), ms(200), wcet, core.BehaviorFunc(inputBody))
+	n.AddPeriodic(FilterA, ms(100), ms(100), wcet, &filterAState{})
+	n.AddPeriodic(FilterB, ms(200), ms(200), wcet, core.BehaviorFunc(filterBBody))
+	n.AddPeriodic(NormA, ms(200), ms(200), wcet, core.BehaviorFunc(normBody))
+	n.AddPeriodic(OutputA, ms(200), ms(200), wcet, core.BehaviorFunc(outputABody))
+	n.AddPeriodic(OutputB, ms(100), ms(100), wcet, core.BehaviorFunc(outputBBody))
+	n.AddSporadic(CoefB, 2, ms(700), ms(700), wcet, &coefState{})
+
+	n.Connect(InputA, FilterA, ChanInA, core.FIFO)
+	n.Connect(InputA, FilterB, ChanInB, core.FIFO)
+	n.Connect(FilterA, NormA, ChanFiltered, core.FIFO)
+	n.Connect(NormA, FilterA, ChanFeedback, core.Blackboard)
+	n.Connect(NormA, OutputA, ChanNormed, core.FIFO)
+	n.Connect(FilterB, OutputB, ChanOutB, core.FIFO)
+	n.ConnectInit(CoefB, FilterB, ChanCoefs, 1)
+
+	// Functional priorities: data-flow direction for the periodic part
+	// (writer over reader), and the sporadic configurator over its user
+	// as in Fig. 1's "relative writer/reader process priority" arrows.
+	n.Priority(InputA, FilterA)
+	n.Priority(InputA, FilterB)
+	n.Priority(InputA, NormA)
+	n.Priority(FilterA, NormA)
+	n.Priority(NormA, OutputA)
+	n.Priority(FilterB, OutputB)
+	n.Priority(CoefB, FilterB)
+
+	n.Input(InputA, ExtInput)
+	n.Output(OutputA, ExtOutputA)
+	n.Output(OutputB, ExtOutputB)
+	return n
+}
+
+// Inputs returns count external input samples 1, 2, 3, ...
+func Inputs(count int) map[string][]core.Value {
+	in := make([]core.Value, count)
+	for i := range in {
+		in[i] = i + 1
+	}
+	return map[string][]core.Value{ExtInput: in}
+}
+
+func inputBody(ctx *core.JobContext) error {
+	v, ok := ctx.ReadInput(ExtInput)
+	if !ok {
+		v = 0
+	}
+	x := v.(int)
+	ctx.Write(ChanInA, x)
+	ctx.Write(ChanInB, x*10)
+	return nil
+}
+
+// filterAState doubles its input and adds the latest feedback value. It
+// runs at twice the input rate, so it holds the last sample when the FIFO
+// is empty.
+type filterAState struct {
+	last int
+}
+
+func (f *filterAState) Init() { f.last = 0 }
+func (f *filterAState) Step(ctx *core.JobContext) error {
+	if v, ok := ctx.Read(ChanInA); ok {
+		f.last = v.(int)
+	}
+	fb := 0
+	if v, ok := ctx.Read(ChanFeedback); ok {
+		fb = v.(int)
+	}
+	ctx.Write(ChanFiltered, f.last*2+fb)
+	return nil
+}
+func (f *filterAState) Clone() core.Behavior { return &filterAState{} }
+
+func filterBBody(ctx *core.JobContext) error {
+	coef := 1
+	if v, ok := ctx.Read(ChanCoefs); ok {
+		coef = v.(int)
+	}
+	if v, ok := ctx.Read(ChanInB); ok {
+		ctx.Write(ChanOutB, v.(int)*coef)
+	}
+	return nil
+}
+
+func normBody(ctx *core.JobContext) error {
+	sum := 0
+	for {
+		v, ok := ctx.Read(ChanFiltered)
+		if !ok {
+			break
+		}
+		sum += v.(int)
+	}
+	ctx.Write(ChanFeedback, sum%7)
+	ctx.Write(ChanNormed, sum)
+	return nil
+}
+
+func outputABody(ctx *core.JobContext) error {
+	if v, ok := ctx.Read(ChanNormed); ok {
+		ctx.WriteOutput(ExtOutputA, v)
+	}
+	return nil
+}
+
+func outputBBody(ctx *core.JobContext) error {
+	if v, ok := ctx.Read(ChanOutB); ok {
+		ctx.WriteOutput(ExtOutputB, v)
+	}
+	return nil
+}
+
+// coefState produces a fresh coefficient on every sporadic invocation.
+type coefState struct {
+	n int
+}
+
+func (c *coefState) Init() { c.n = 0 }
+func (c *coefState) Step(ctx *core.JobContext) error {
+	c.n++
+	ctx.Write(ChanCoefs, 2+c.n)
+	return nil
+}
+func (c *coefState) Clone() core.Behavior { return &coefState{} }

@@ -1,0 +1,149 @@
+// Package automata implements the formal process model of FPPN processes
+// (Definition 2.2 of the DATE 2015 paper): a deterministic automaton
+// (ℓ0, L, X, X0, I, O, A, T) with locations (source-code line numbers),
+// internal variables, guarded transitions and channel-access actions.
+//
+// A "job execution run" is a non-empty sequence of automaton steps that
+// returns the automaton to its initial location, like one call of a software
+// subroutine. The package provides an adapter turning an Automaton into a
+// core.Behavior so that formally specified processes and plain Go behaviours
+// can be mixed freely in one network.
+package automata
+
+import (
+	"fmt"
+	"maps"
+
+	"repro/internal/core"
+)
+
+// Vars is the internal variable valuation X of a process automaton.
+type Vars map[string]core.Value
+
+// Guard is a predicate on the internal variables (the set G_p of
+// Definition 2.2). A nil Guard is always true.
+type Guard func(v Vars) bool
+
+// Action is a transition body: variable assignments and channel accesses
+// through the job context (the set A_p). A nil Action does nothing.
+type Action func(v Vars, ctx *core.JobContext) error
+
+// Transition is one element of the transition relation
+// T_p ⊆ L × G × A × L.
+type Transition struct {
+	From   string
+	Guard  Guard
+	Action Action
+	To     string
+}
+
+// Automaton is a deterministic process automaton.
+type Automaton struct {
+	Name string
+	// Initial is the initial location ℓ0.
+	Initial string
+	// Init holds the initial variable valuation X0. It is copied for
+	// every job-context instance, so an Automaton value is reusable.
+	Init Vars
+	// Transitions is the transition relation. Determinism is enforced
+	// at run time: in every reached configuration at most one transition
+	// may be enabled.
+	Transitions []Transition
+	// MaxSteps bounds one job execution run (0 means the default 10000);
+	// exceeding it is reported as an error instead of looping forever.
+	MaxSteps int
+}
+
+// Validate checks structural sanity: a non-empty initial location, and every
+// transition endpoint reachable from declared locations.
+func (a *Automaton) Validate() error {
+	if a.Initial == "" {
+		return fmt.Errorf("automaton %q: empty initial location", a.Name)
+	}
+	if len(a.Transitions) == 0 {
+		return fmt.Errorf("automaton %q: no transitions", a.Name)
+	}
+	locs := map[string]bool{a.Initial: true}
+	for _, t := range a.Transitions {
+		locs[t.From] = true
+		locs[t.To] = true
+	}
+	fromInitial := false
+	for _, t := range a.Transitions {
+		if t.From == a.Initial {
+			fromInitial = true
+		}
+		if t.From == "" || t.To == "" {
+			return fmt.Errorf("automaton %q: transition with empty location", a.Name)
+		}
+	}
+	if !fromInitial {
+		return fmt.Errorf("automaton %q: no transition out of initial location %q", a.Name, a.Initial)
+	}
+	return nil
+}
+
+// Behavior returns a core.Behavior executing one job run per Step call.
+// The returned behaviour is stateful (it owns a variable valuation) and
+// implements core.Cloner, so independent machines get independent state.
+func (a *Automaton) Behavior() core.Behavior {
+	return &behavior{a: a, vars: maps.Clone(a.Init)}
+}
+
+type behavior struct {
+	a    *Automaton
+	vars Vars
+}
+
+func (b *behavior) Init() {
+	b.vars = maps.Clone(b.a.Init)
+	if b.vars == nil {
+		b.vars = Vars{}
+	}
+}
+
+func (b *behavior) Clone() core.Behavior {
+	return &behavior{a: b.a, vars: maps.Clone(b.a.Init)}
+}
+
+// Step executes one job execution run: automaton steps until control
+// returns to the initial location.
+func (b *behavior) Step(ctx *core.JobContext) error {
+	max := b.a.MaxSteps
+	if max == 0 {
+		max = 10000
+	}
+	loc := b.a.Initial
+	for step := 0; ; step++ {
+		if step >= max {
+			return fmt.Errorf("automata: %q exceeded %d steps in one job run", b.a.Name, max)
+		}
+		var enabled *Transition
+		for i := range b.a.Transitions {
+			t := &b.a.Transitions[i]
+			if t.From != loc {
+				continue
+			}
+			if t.Guard != nil && !t.Guard(b.vars) {
+				continue
+			}
+			if enabled != nil {
+				return fmt.Errorf("automata: %q is non-deterministic at location %q (transitions to %q and %q enabled)",
+					b.a.Name, loc, enabled.To, t.To)
+			}
+			enabled = t
+		}
+		if enabled == nil {
+			return fmt.Errorf("automata: %q is stuck at location %q (no enabled transition)", b.a.Name, loc)
+		}
+		if enabled.Action != nil {
+			if err := enabled.Action(b.vars, ctx); err != nil {
+				return fmt.Errorf("automata: %q at %q: %w", b.a.Name, loc, err)
+			}
+		}
+		loc = enabled.To
+		if loc == b.a.Initial {
+			return nil // job execution run complete
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+func ms(n int64) core.Time { return rational.Milli(n) }
+
+// squareNet builds the paper's Section II running example as a formal
+// automaton: read a sample from I1, square it, write it to c1; a consumer
+// reads c1 and writes O1.
+func squareNet(t *testing.T) *core.Network {
+	t.Helper()
+	producer := &Automaton{
+		Name:    "producer",
+		Initial: "l0",
+		Init:    Vars{"x": 0},
+		Transitions: []Transition{
+			{From: "l0", To: "l1", Action: func(v Vars, ctx *core.JobContext) error {
+				val, ok := ctx.ReadInput("I1")
+				if !ok {
+					val = 0
+				}
+				v["x"] = val // x?[k]I1
+				return nil
+			}},
+			{From: "l1", To: "l2", Action: func(v Vars, ctx *core.JobContext) error {
+				x := v["x"].(int)
+				v["x"] = x * x // x := x²
+				return nil
+			}},
+			{From: "l2", To: "l0", Action: func(v Vars, ctx *core.JobContext) error {
+				ctx.Write("c1", v["x"]) // x!c1
+				return nil
+			}},
+		},
+	}
+	consumer := &Automaton{
+		Name:    "consumer",
+		Initial: "l0",
+		Init:    Vars{"y": 0},
+		Transitions: []Transition{
+			{From: "l0", To: "l1", Action: func(v Vars, ctx *core.JobContext) error {
+				if y, ok := ctx.Read("c1"); ok { // y?c1
+					v["y"] = y
+					v["have"] = true
+				} else {
+					v["have"] = false
+				}
+				return nil
+			}},
+			{From: "l1", To: "l0",
+				Guard: func(v Vars) bool { return v["have"] == true },
+				Action: func(v Vars, ctx *core.JobContext) error {
+					ctx.WriteOutput("O1", v["y"]) // O1![k]y
+					return nil
+				}},
+			{From: "l1", To: "l0",
+				Guard: func(v Vars) bool { return v["have"] != true }},
+		},
+	}
+	if err := producer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := core.NewNetwork("square")
+	n.AddPeriodic("P", ms(100), ms(100), ms(1), producer.Behavior())
+	n.AddPeriodic("Q", ms(100), ms(100), ms(1), consumer.Behavior())
+	n.Connect("P", "Q", "c1", core.FIFO)
+	n.Priority("P", "Q")
+	n.Input("P", "I1")
+	n.Output("Q", "O1")
+	return n
+}
+
+func TestAutomatonAsProcess(t *testing.T) {
+	n := squareNet(t)
+	res, err := core.RunZeroDelay(n, ms(300), core.ZeroDelayOptions{
+		Inputs:      map[string][]core.Value{"I1": {2, 3, 4}},
+		Seed:        -1,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs["O1"]
+	if len(out) != 3 {
+		t.Fatalf("got %d output samples, want 3", len(out))
+	}
+	for i, want := range []int{4, 9, 16} {
+		if out[i].Value.(int) != want {
+			t.Errorf("O1[%d] = %v, want %d", i+1, out[i].Value, want)
+		}
+	}
+}
+
+func TestAutomatonCloneIsolation(t *testing.T) {
+	n := squareNet(t)
+	r1, err := core.RunZeroDelay(n, ms(200), core.ZeroDelayOptions{
+		Inputs: map[string][]core.Value{"I1": {5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.RunZeroDelay(n, ms(200), core.ZeroDelayOptions{
+		Inputs: map[string][]core.Value{"I1": {5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SamplesEqual(r1.Outputs, r2.Outputs) {
+		t.Error("re-running the same network gave different outputs; automaton state leaked")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		a    *Automaton
+		want string
+	}{
+		{"empty initial", &Automaton{Name: "a", Transitions: []Transition{{From: "x", To: "x"}}}, "initial"},
+		{"no transitions", &Automaton{Name: "a", Initial: "l0"}, "no transitions"},
+		{"empty location", &Automaton{Name: "a", Initial: "l0",
+			Transitions: []Transition{{From: "l0", To: ""}}}, "empty location"},
+		{"unreachable initial", &Automaton{Name: "a", Initial: "l0",
+			Transitions: []Transition{{From: "l1", To: "l1"}}}, "no transition out of initial"},
+	}
+	for _, tt := range tests {
+		err := tt.a.Validate()
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: Validate = %v, want %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+func runOneJob(t *testing.T, a *Automaton) error {
+	t.Helper()
+	n := core.NewNetwork("single")
+	n.AddPeriodic("p", ms(100), ms(100), ms(1), a.Behavior())
+	m, err := core.NewMachine(n, core.MachineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.ExecJob("p", ms(0))
+}
+
+func TestNondeterminismDetected(t *testing.T) {
+	a := &Automaton{
+		Name:    "nd",
+		Initial: "l0",
+		Transitions: []Transition{
+			{From: "l0", To: "l0"},
+			{From: "l0", To: "l1"},
+			{From: "l1", To: "l0"},
+		},
+	}
+	err := runOneJob(t, a)
+	if err == nil || !strings.Contains(err.Error(), "non-deterministic") {
+		t.Errorf("got %v, want non-determinism error", err)
+	}
+}
+
+func TestStuckDetected(t *testing.T) {
+	a := &Automaton{
+		Name:    "stuck",
+		Initial: "l0",
+		Transitions: []Transition{
+			{From: "l0", To: "l1"},
+			{From: "l1", To: "l0", Guard: func(Vars) bool { return false }},
+		},
+	}
+	err := runOneJob(t, a)
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("got %v, want stuck error", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	a := &Automaton{
+		Name:     "loop",
+		Initial:  "l0",
+		MaxSteps: 10,
+		Transitions: []Transition{
+			{From: "l0", To: "l1"},
+			{From: "l1", To: "l2"},
+			{From: "l2", To: "l1"}, // never returns to l0
+		},
+	}
+	err := runOneJob(t, a)
+	if err == nil || !strings.Contains(err.Error(), "exceeded 10 steps") {
+		t.Errorf("got %v, want step-limit error", err)
+	}
+}
+
+func TestGuardedBranching(t *testing.T) {
+	// An automaton that counts invocations and alternates between two
+	// branches, exercising guards over internal state across job runs.
+	a := &Automaton{
+		Name:    "alt",
+		Initial: "l0",
+		Init:    Vars{"n": 0},
+		Transitions: []Transition{
+			{From: "l0", To: "l1", Action: func(v Vars, ctx *core.JobContext) error {
+				v["n"] = v["n"].(int) + 1
+				return nil
+			}},
+			{From: "l1", To: "l0",
+				Guard: func(v Vars) bool { return v["n"].(int)%2 == 1 },
+				Action: func(v Vars, ctx *core.JobContext) error {
+					ctx.WriteOutput("O", "odd")
+					return nil
+				}},
+			{From: "l1", To: "l0",
+				Guard: func(v Vars) bool { return v["n"].(int)%2 == 0 },
+				Action: func(v Vars, ctx *core.JobContext) error {
+					ctx.WriteOutput("O", "even")
+					return nil
+				}},
+		},
+	}
+	n := core.NewNetwork("alt")
+	n.AddPeriodic("p", ms(100), ms(100), ms(1), a.Behavior())
+	n.Output("p", "O")
+	res, err := core.RunZeroDelay(n, ms(400), core.ZeroDelayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Outputs["O"]
+	want := []string{"odd", "even", "odd", "even"}
+	for i := range want {
+		if got[i].Value.(string) != want[i] {
+			t.Errorf("O[%d] = %v, want %s", i, got[i].Value, want[i])
+		}
+	}
+}
+
+func TestActionErrorPropagates(t *testing.T) {
+	a := &Automaton{
+		Name:    "err",
+		Initial: "l0",
+		Transitions: []Transition{
+			{From: "l0", To: "l0", Action: func(v Vars, ctx *core.JobContext) error {
+				return strings.NewReader("").UnreadByte() // some non-nil error
+			}},
+		},
+	}
+	if err := runOneJob(t, a); err == nil {
+		t.Error("action error not propagated")
+	}
+}

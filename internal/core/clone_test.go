@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rational"
+)
+
+func TestCloneStructure(t *testing.T) {
+	src := buildFig1(t)
+	clone := src.CloneStructure(rational.One)
+	if err := clone.ValidateSchedulable(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if len(clone.Processes()) != len(src.Processes()) ||
+		len(clone.Channels()) != len(src.Channels()) ||
+		len(clone.PriorityEdges()) != len(src.PriorityEdges()) {
+		t.Error("clone lost structure")
+	}
+	if clone.ExternalInputs()[0] != src.ExternalInputs()[0] {
+		t.Error("clone lost external inputs")
+	}
+	// Scaling applies to every WCET.
+	half := src.CloneStructure(rational.New(1, 2))
+	for _, p := range half.Processes() {
+		want := src.Process(p.Name).WCET.DivInt(2)
+		if !p.WCET.Equal(want) {
+			t.Errorf("%s WCET = %v, want %v", p.Name, p.WCET, want)
+		}
+	}
+	// The clone is independent: mutating it leaves the source intact.
+	clone.AddPeriodic("extra", ms(100), ms(100), ms(1), nil)
+	if src.Process("extra") != nil {
+		t.Error("clone mutation leaked into the source")
+	}
+	// Blackboard initial values survive.
+	withInit := NewNetwork("init")
+	withInit.AddPeriodic("a", ms(100), ms(100), ms(1), nil)
+	withInit.AddPeriodic("b", ms(100), ms(100), ms(1), nil)
+	withInit.ConnectInit("a", "b", "bb", 42)
+	withInit.Priority("a", "b")
+	cl := withInit.CloneStructure(rational.One)
+	bb := cl.Channel("bb")
+	if bb == nil || !bb.HasInitial || bb.Initial.(int) != 42 {
+		t.Error("clone lost blackboard initial value")
+	}
+}
+
+func TestCloneRunsIdentically(t *testing.T) {
+	src := buildFig1(t)
+	fig1Behaviors(src)
+	clone := src.CloneStructure(rational.One)
+	a, err := RunZeroDelay(src, ms(400), ZeroDelayOptions{Inputs: fig1Inputs(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunZeroDelay(clone, ms(400), ZeroDelayOptions{Inputs: fig1Inputs(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SamplesEqual(a.Outputs, b.Outputs) {
+		t.Errorf("clone behaves differently: %s", DiffSamples(a.Outputs, b.Outputs))
+	}
+}
+
+// TestGenerateInvocationsCounts: the number of invocations of a periodic
+// process over [0, n·T) is exactly n·burst for any parameters.
+func TestGenerateInvocationsCounts(t *testing.T) {
+	for _, tc := range []struct {
+		period int64
+		burst  int
+		mult   int64
+	}{
+		{100, 1, 7}, {200, 2, 3}, {50, 3, 5}, {700, 2, 2},
+	} {
+		n := NewNetwork("count")
+		n.AddMultiPeriodic("p", tc.burst, ms(tc.period), ms(tc.period), ms(1), nil)
+		horizon := ms(tc.period * tc.mult)
+		invs, err := GenerateInvocations(n, horizon, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, inv := range invs {
+			total += len(inv.Procs)
+		}
+		want := int(tc.mult) * tc.burst
+		if total != want {
+			t.Errorf("T=%d m=%d over %d periods: %d invocations, want %d",
+				tc.period, tc.burst, tc.mult, total, want)
+		}
+	}
+}
+
+// TestInvocationTimesSortedAndMerged: instants are strictly increasing and
+// no two instants share a time stamp.
+func TestInvocationTimesSortedAndMerged(t *testing.T) {
+	n := buildFig1(t)
+	invs, err := GenerateInvocations(n, ms(1400), map[string][]Time{
+		"CoefB": {ms(100), ms(150)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(invs); i++ {
+		if !invs[i-1].Time.Less(invs[i].Time) {
+			t.Fatalf("instants not strictly increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// ExampleRunZeroDelay builds the smallest interesting FPPN — a producer and
+// a consumer at different rates with a functional priority between them —
+// and executes the zero-delay semantics.
+func ExampleRunZeroDelay() {
+	ms := rational.Milli
+	n := core.NewNetwork("example")
+	n.AddPeriodic("producer", ms(200), ms(200), ms(10),
+		core.BehaviorFunc(func(ctx *core.JobContext) error {
+			ctx.Write("data", int(ctx.K())*10)
+			return nil
+		}))
+	n.AddPeriodic("consumer", ms(100), ms(100), ms(10),
+		core.BehaviorFunc(func(ctx *core.JobContext) error {
+			if v, ok := ctx.Read("data"); ok {
+				ctx.WriteOutput("O", v)
+			} else {
+				ctx.WriteOutput("O", "no data")
+			}
+			return nil
+		}))
+	n.Connect("producer", "consumer", "data", core.FIFO)
+	n.Priority("producer", "consumer")
+	n.Output("consumer", "O")
+
+	res, err := core.RunZeroDelay(n, ms(400), core.ZeroDelayOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range res.Outputs["O"] {
+		fmt.Printf("[%d] %v\n", s.K, s.Value)
+	}
+	// Output:
+	// [1] 10
+	// [2] no data
+	// [3] 20
+	// [4] no data
+}
+
+// ExampleGenerator_CheckSporadic validates an event trace against the
+// sporadic (m, T) constraint.
+func ExampleGenerator_CheckSporadic() {
+	g := core.Generator{
+		Kind:     core.Sporadic,
+		Period:   rational.Milli(700),
+		Burst:    2,
+		Deadline: rational.Milli(700),
+	}
+	ok := g.CheckSporadic([]core.Time{rational.Milli(0), rational.Milli(300)})
+	tooMany := g.CheckSporadic([]core.Time{rational.Milli(0), rational.Milli(300), rational.Milli(600)})
+	fmt.Println(ok == nil, tooMany == nil)
+	// Output: true false
+}

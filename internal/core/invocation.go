@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rational"
+)
+
+// Invocation is the multiset of process invocations occurring at one time
+// stamp: the paper's (t_i, P_i). Procs lists one entry per invoked job
+// (bursts appear multiple times) and is kept sorted by process name; the
+// execution order within the instant is decided later by a linear extension
+// of the functional-priority DAG.
+type Invocation struct {
+	Time  Time
+	Procs []string
+}
+
+// JobRef identifies the k-th job of a process together with its invocation
+// time stamp.
+type JobRef struct {
+	Proc string
+	K    int64
+	Time Time
+}
+
+// String formats the job reference as p[k]@t.
+func (j JobRef) String() string { return fmt.Sprintf("%s[%d]@%v", j.Proc, j.K, j.Time) }
+
+// GenerateInvocations produces the invocation sequence of the network over
+// [0, horizon): periodic generators fire bursts at 0, T, 2T, ...; sporadic
+// generators fire at the times supplied in sporadicEvents (validated against
+// the (m, T) constraint; events at or beyond the horizon are rejected).
+func GenerateInvocations(net *Network, horizon Time, sporadicEvents map[string][]Time) ([]Invocation, error) {
+	if horizon.Sign() <= 0 {
+		return nil, fmt.Errorf("core: non-positive horizon %v", horizon)
+	}
+	type entry struct {
+		t    Time
+		proc string
+	}
+	var entries []entry
+	for _, p := range net.Processes() {
+		switch p.Gen.Kind {
+		case Periodic:
+			for _, t := range p.Gen.PeriodicTimes(horizon) {
+				entries = append(entries, entry{t, p.Name})
+			}
+		case Sporadic:
+			times := sporadicEvents[p.Name]
+			sorted := make([]Time, len(times))
+			copy(sorted, times)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+			if err := p.Gen.CheckSporadic(sorted); err != nil {
+				return nil, fmt.Errorf("core: process %q: %w", p.Name, err)
+			}
+			for _, t := range sorted {
+				if !t.Less(horizon) {
+					return nil, fmt.Errorf("core: process %q: sporadic event at %v is beyond horizon %v",
+						p.Name, t, horizon)
+				}
+				entries = append(entries, entry{t, p.Name})
+			}
+		}
+	}
+	for proc := range sporadicEvents {
+		p := net.Process(proc)
+		if p == nil {
+			return nil, fmt.Errorf("core: sporadic events for unknown process %q", proc)
+		}
+		if !p.IsSporadic() {
+			return nil, fmt.Errorf("core: sporadic events supplied for non-sporadic process %q", proc)
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if c := entries[i].t.Cmp(entries[j].t); c != 0 {
+			return c < 0
+		}
+		return entries[i].proc < entries[j].proc
+	})
+	var out []Invocation
+	for _, e := range entries {
+		if n := len(out); n > 0 && out[n-1].Time.Equal(e.t) {
+			out[n-1].Procs = append(out[n-1].Procs, e.proc)
+		} else {
+			out = append(out, Invocation{Time: e.t, Procs: []string{e.proc}})
+		}
+	}
+	return out, nil
+}
+
+// LinearExtension returns a rank for every process forming a total order
+// that extends the functional-priority DAG: rank(hi) < rank(lo) for every
+// FP edge hi -> lo. With seed < 0 ties are broken by insertion order
+// (deterministic); with seed >= 0 ties are broken pseudo-randomly, which is
+// used to test Proposition 2.1 (any FP-respecting order yields the same
+// outputs).
+func (n *Network) LinearExtension(seed int64) (map[string]int, error) {
+	indeg := make(map[string]int, len(n.procOrder))
+	for _, p := range n.procOrder {
+		indeg[p] = 0
+	}
+	for _, los := range n.fp {
+		for lo := range los {
+			indeg[lo]++
+		}
+	}
+	var rng *rand.Rand
+	if seed >= 0 {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	var ready []string
+	for _, p := range n.procOrder {
+		if indeg[p] == 0 {
+			ready = append(ready, p)
+		}
+	}
+	rank := make(map[string]int, len(n.procOrder))
+	next := 0
+	for len(ready) > 0 {
+		i := 0
+		if rng != nil {
+			i = rng.Intn(len(ready))
+		}
+		p := ready[i]
+		ready = append(ready[:i], ready[i+1:]...)
+		rank[p] = next
+		next++
+		var unblocked []string
+		for lo := range n.fp[p] {
+			indeg[lo]--
+			if indeg[lo] == 0 {
+				unblocked = append(unblocked, lo)
+			}
+		}
+		sort.Strings(unblocked)
+		ready = append(ready, unblocked...)
+	}
+	if next != len(n.procOrder) {
+		return nil, fmt.Errorf("core: functional priority graph has a cycle")
+	}
+	return rank, nil
+}
+
+// JobSequence expands an invocation sequence into the total job order <_J
+// of the zero-delay semantics: jobs sorted first by invocation time stamp,
+// then by the given linear extension of FP, with invocation counts k
+// assigned in that order. This same order defines the task-graph node
+// sequence in Section III of the paper.
+func JobSequence(net *Network, invs []Invocation, rank map[string]int) []JobRef {
+	counts := make(map[string]int64)
+	var out []JobRef
+	for _, inv := range invs {
+		procs := make([]string, len(inv.Procs))
+		copy(procs, inv.Procs)
+		sort.SliceStable(procs, func(i, j int) bool {
+			ri, rj := rank[procs[i]], rank[procs[j]]
+			if ri != rj {
+				return ri < rj
+			}
+			return procs[i] < procs[j]
+		})
+		for _, p := range procs {
+			counts[p]++
+			out = append(out, JobRef{Proc: p, K: counts[p], Time: inv.Time})
+		}
+	}
+	return out
+}
+
+// Hyperperiod returns the LCM of the periods of all processes (using the
+// user period for sporadic processes replaced by servers when substitute is
+// non-nil; pass nil to use raw periods).
+func Hyperperiod(net *Network, substitute map[string]Time) (Time, error) {
+	var periods []Time
+	for _, p := range net.Processes() {
+		t := p.Period()
+		if substitute != nil {
+			if s, ok := substitute[p.Name]; ok {
+				t = s
+			}
+		}
+		if t.Sign() <= 0 {
+			return rational.Zero, fmt.Errorf("core: process %q has non-positive period %v", p.Name, t)
+		}
+		periods = append(periods, t)
+	}
+	if len(periods) == 0 {
+		return rational.Zero, fmt.Errorf("core: network %q has no processes", net.Name)
+	}
+	return rational.LcmAll(periods), nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cloner is an optional interface for Behavior implementations whose
+// internal state must be duplicated when several Machines execute the same
+// Network (e.g. when comparing a zero-delay reference run against a
+// real-time run). Behaviors that do not implement Cloner are shared, and
+// Init is relied upon to reset them.
+type Cloner interface {
+	Clone() Behavior
+}
+
+// MachineOptions configures a Machine.
+type MachineOptions struct {
+	// Inputs maps external input channel names to their sample
+	// sequences; the k-th job of the attached process reads sample [k]
+	// (index k-1). Missing samples read as unavailable.
+	Inputs map[string][]Value
+	// RecordTrace enables action-trace recording.
+	RecordTrace bool
+}
+
+// Machine executes jobs of a validated Network against shared channel
+// state. It enforces the FPPN access discipline (a process may only touch
+// its own channels) and assigns invocation counts k in execution order.
+// Machine contains the data semantics only; *when* jobs execute is decided
+// by the caller (the zero-delay executor, the real-time runtime, or the
+// generated timed-automata interpreter).
+type Machine struct {
+	net       *Network
+	chans     map[string]channelState
+	behaviors map[string]Behavior
+	counts    map[string]int64
+	inputs    map[string][]Value
+	outputs   map[string][]Sample
+	trace     Trace
+	record    bool
+}
+
+// NewMachine creates a Machine for a validated network. Behaviors
+// implementing Cloner are cloned; all behaviors are Init-ed.
+func NewMachine(net *Network, opts MachineOptions) (*Machine, error) {
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network %q: %w", net.Name, err)
+	}
+	for ch := range opts.Inputs {
+		if _, ok := net.extIn[ch]; !ok {
+			return nil, fmt.Errorf("core: inputs provided for unknown external input channel %q", ch)
+		}
+	}
+	m := &Machine{
+		net:       net,
+		chans:     make(map[string]channelState, len(net.chans)),
+		behaviors: make(map[string]Behavior, len(net.procs)),
+		counts:    make(map[string]int64, len(net.procs)),
+		inputs:    opts.Inputs,
+		outputs:   make(map[string][]Sample),
+		record:    opts.RecordTrace,
+	}
+	for name, c := range net.chans {
+		m.chans[name] = newChannelState(c)
+	}
+	for name, p := range net.procs {
+		b := p.behavior()
+		if c, ok := b.(Cloner); ok {
+			b = c.Clone()
+		}
+		b.Init()
+		m.behaviors[name] = b
+	}
+	return m, nil
+}
+
+// Network returns the network this machine executes.
+func (m *Machine) Network() *Network { return m.net }
+
+// Count returns the number of jobs of the process executed so far.
+func (m *Machine) Count(proc string) int64 { return m.counts[proc] }
+
+// Wait records the paper's w(τ) action. Callers invoke it when simulated
+// time advances to a new invocation instant.
+func (m *Machine) Wait(t Time) {
+	if m.record {
+		m.trace = append(m.trace, Action{Kind: ActWait, Time: t})
+	}
+}
+
+// ExecJob runs the next job (invocation count k = Count+1) of the named
+// process at time t. Channel access errors inside the behaviour (touching a
+// channel the process does not own) and behaviour panics are returned as
+// errors.
+func (m *Machine) ExecJob(proc string, t Time) (err error) {
+	p, ok := m.net.procs[proc]
+	if !ok {
+		return fmt.Errorf("core: ExecJob of unknown process %q", proc)
+	}
+	m.counts[proc]++
+	k := m.counts[proc]
+	ctx := &JobContext{m: m, p: p, k: k, now: t}
+	if m.record {
+		m.trace = append(m.trace, Action{Kind: ActJobStart, Time: t, Proc: proc, K: k})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: job %s[%d] at %v panicked: %v", proc, k, t, r)
+		}
+		if m.record {
+			m.trace = append(m.trace, Action{Kind: ActJobEnd, Time: t, Proc: proc, K: k})
+		}
+	}()
+	if err := m.behaviors[proc].Step(ctx); err != nil {
+		return fmt.Errorf("core: job %s[%d] at %v: %w", proc, k, t, err)
+	}
+	if ctx.err != nil {
+		return fmt.Errorf("core: job %s[%d] at %v: %w", proc, k, t, ctx.err)
+	}
+	return nil
+}
+
+// Outputs returns the samples written to every external output channel so
+// far. The returned map is live; callers must not mutate it.
+func (m *Machine) Outputs() map[string][]Sample { return m.outputs }
+
+// Trace returns the recorded action trace (empty unless RecordTrace).
+func (m *Machine) Trace() Trace { return m.trace }
+
+// ChannelSnapshot returns the observable content of every internal channel,
+// keyed by channel name: queued values for FIFOs, the last value for
+// initialized blackboards.
+func (m *Machine) ChannelSnapshot() map[string][]Value {
+	out := make(map[string][]Value, len(m.chans))
+	names := make([]string, 0, len(m.chans))
+	for name := range m.chans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out[name] = m.chans[name].snapshot()
+	}
+	return out
+}
+
+// ChannelLen returns the number of readable values in the named channel.
+func (m *Machine) ChannelLen(name string) int {
+	s, ok := m.chans[name]
+	if !ok {
+		return 0
+	}
+	return s.len()
+}
+
+// ChannelHighWater returns, per channel, the maximum number of values
+// buffered simultaneously during the execution so far: the capacity a
+// bounded-buffer implementation of each channel must provision. Blackboards
+// report at most 1.
+func (m *Machine) ChannelHighWater() map[string]int {
+	out := make(map[string]int, len(m.chans))
+	for name, s := range m.chans {
+		out[name] = s.highWater()
+	}
+	return out
+}
+
+// JobContext is the channel-access interface handed to a Behavior during one
+// job execution run. All methods follow the paper's access rules: internal
+// reads and writes are non-blocking, external I/O is indexed by the job's
+// invocation count k.
+type JobContext struct {
+	m   *Machine
+	p   *Process
+	k   int64
+	now Time
+	err error
+}
+
+// K returns the invocation count of this job (1-based).
+func (c *JobContext) K() int64 { return c.k }
+
+// Now returns the invocation time stamp of this job.
+func (c *JobContext) Now() Time { return c.now }
+
+// Process returns the name of the executing process.
+func (c *JobContext) Process() string { return c.p.Name }
+
+// Inputs returns the internal input channels of the executing process,
+// sorted by name.
+func (c *JobContext) Inputs() []string { return c.p.Inputs() }
+
+// Outputs returns the internal output channels of the executing process,
+// sorted by name.
+func (c *JobContext) Outputs() []string { return c.p.Outputs() }
+
+// ExternalInputs returns the external input channels of the executing
+// process, sorted by name.
+func (c *JobContext) ExternalInputs() []string { return c.p.ExternalInputs() }
+
+// ExternalOutputs returns the external output channels of the executing
+// process, sorted by name.
+func (c *JobContext) ExternalOutputs() []string { return c.p.ExternalOutputs() }
+
+func (c *JobContext) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Read performs the action x?c on an internal input channel of the process.
+// ok == false indicates non-availability of data (empty FIFO or
+// uninitialized blackboard).
+func (c *JobContext) Read(channel string) (v Value, ok bool) {
+	if !c.p.hasInput(channel) {
+		c.fail("process %q read from channel %q it does not own as input", c.p.Name, channel)
+		return nil, false
+	}
+	v, ok = c.m.chans[channel].read()
+	if c.m.record {
+		c.m.trace = append(c.m.trace, Action{
+			Kind: ActRead, Time: c.now, Proc: c.p.Name, K: c.k,
+			Channel: channel, Value: v, OK: ok,
+		})
+	}
+	return v, ok
+}
+
+// Write performs the action x!c on an internal output channel of the
+// process.
+func (c *JobContext) Write(channel string, v Value) {
+	if !c.p.hasOutput(channel) {
+		c.fail("process %q wrote to channel %q it does not own as output", c.p.Name, channel)
+		return
+	}
+	c.m.chans[channel].write(v)
+	if c.m.record {
+		c.m.trace = append(c.m.trace, Action{
+			Kind: ActWrite, Time: c.now, Proc: c.p.Name, K: c.k,
+			Channel: channel, Value: v, OK: true,
+		})
+	}
+}
+
+// ReadInput reads sample [k] from an external input channel of the process,
+// where k is this job's invocation count.
+func (c *JobContext) ReadInput(channel string) (v Value, ok bool) {
+	if !c.p.hasExtIn(channel) {
+		c.fail("process %q read external input %q it does not own", c.p.Name, channel)
+		return nil, false
+	}
+	samples := c.m.inputs[channel]
+	if c.k >= 1 && c.k <= int64(len(samples)) {
+		v, ok = samples[c.k-1], true
+	}
+	if c.m.record {
+		c.m.trace = append(c.m.trace, Action{
+			Kind: ActReadExt, Time: c.now, Proc: c.p.Name, K: c.k,
+			Channel: channel, Value: v, OK: ok,
+		})
+	}
+	return v, ok
+}
+
+// WriteOutput writes sample [k] to an external output channel of the
+// process, where k is this job's invocation count.
+func (c *JobContext) WriteOutput(channel string, v Value) {
+	if !c.p.hasExtOut(channel) {
+		c.fail("process %q wrote external output %q it does not own", c.p.Name, channel)
+		return
+	}
+	c.m.outputs[channel] = append(c.m.outputs[channel], Sample{K: c.k, Time: c.now, Value: v})
+	if c.m.record {
+		c.m.trace = append(c.m.trace, Action{
+			Kind: ActWriteExt, Time: c.now, Proc: c.p.Name, K: c.k,
+			Channel: channel, Value: v, OK: true,
+		})
+	}
+}

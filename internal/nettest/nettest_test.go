@@ -1,0 +1,69 @@
+package nettest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+func TestRandomNetworksValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		net := Random(rng, Options{})
+		if err := net.ValidateSchedulable(); err != nil {
+			t.Fatalf("trial %d: generated network invalid: %v", trial, err)
+		}
+		if len(net.ExternalOutputs()) == 0 {
+			t.Fatalf("trial %d: no observable outputs", trial)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), Options{})
+	b := Random(rand.New(rand.NewSource(7)), Options{})
+	if a.Name != b.Name || len(a.Processes()) != len(b.Processes()) ||
+		len(a.Channels()) != len(b.Channels()) {
+		t.Error("same seed produced different networks")
+	}
+}
+
+func TestRandomEventsRespectConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	horizon := rational.FromInt(4)
+	for trial := 0; trial < 50; trial++ {
+		net := Random(rng, Options{MaxSporadic: 3})
+		events := RandomEvents(rng, net, horizon)
+		for proc, times := range events {
+			p := net.Process(proc)
+			if err := p.Gen.CheckSporadic(times); err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, proc, err)
+			}
+			for _, tau := range times {
+				if !tau.Less(horizon) {
+					t.Fatalf("trial %d: event beyond horizon", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestMixerBehaviourRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := Random(rng, Options{})
+	res, err := core.RunZeroDelay(net, rational.FromInt(2), core.ZeroDelayOptions{
+		Inputs: Inputs(net, 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, samples := range res.Outputs {
+		total += len(samples)
+	}
+	if total == 0 {
+		t.Error("no output samples produced")
+	}
+}

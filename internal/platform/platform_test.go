@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+func ms(n int64) Time { return rational.Milli(n) }
+
+func job(wcet Time) *taskgraph.Job {
+	return &taskgraph.Job{Proc: "p", K: 1, WCET: wcet}
+}
+
+func TestOverheadModel(t *testing.T) {
+	o := OverheadModel{FirstFrameBase: ms(41), FrameBase: ms(20)}
+	if got := o.FrameOverhead(0, 14); !got.Equal(ms(41)) {
+		t.Errorf("first frame overhead = %v, want 41ms", got)
+	}
+	if got := o.FrameOverhead(1, 14); !got.Equal(ms(20)) {
+		t.Errorf("later frame overhead = %v, want 20ms", got)
+	}
+	if o.Zero() {
+		t.Error("non-zero model reported Zero")
+	}
+	var zero OverheadModel
+	if !zero.Zero() || !zero.FrameOverhead(0, 100).IsZero() {
+		t.Error("zero model not zero")
+	}
+}
+
+func TestOverheadPerJob(t *testing.T) {
+	o := OverheadModel{FrameBase: ms(6), PerJob: ms(1)}
+	if got := o.FrameOverhead(3, 14); !got.Equal(ms(20)) {
+		t.Errorf("overhead = %v, want 20ms (6 + 14·1)", got)
+	}
+}
+
+func TestMPPAFFTOverhead(t *testing.T) {
+	o := MPPAFFTOverhead()
+	if !o.FrameOverhead(0, 14).Equal(ms(41)) || !o.FrameOverhead(5, 14).Equal(ms(20)) {
+		t.Errorf("MPPA overhead model wrong: %v / %v",
+			o.FrameOverhead(0, 14), o.FrameOverhead(5, 14))
+	}
+}
+
+func TestWCETExec(t *testing.T) {
+	em := WCETExec()
+	j := job(ms(25))
+	for f := 0; f < 3; f++ {
+		if got := em(j, f); !got.Equal(ms(25)) {
+			t.Errorf("frame %d exec = %v, want 25ms", f, got)
+		}
+	}
+}
+
+func TestScaledExec(t *testing.T) {
+	em, err := ScaledExec(rational.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := em(job(ms(30)), 0); !got.Equal(ms(15)) {
+		t.Errorf("scaled exec = %v, want 15ms", got)
+	}
+	if _, err := ScaledExec(rational.Zero); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := ScaledExec(rational.FromInt(2)); err == nil {
+		t.Error("fraction above one accepted")
+	}
+}
+
+func TestJitterExecBoundsAndDeterminism(t *testing.T) {
+	lo := rational.New(1, 4)
+	em, err := JitterExec(7, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(ms(40))
+	varied := false
+	var prev Time
+	for f := 0; f < 20; f++ {
+		c := em(j, f)
+		if c.Less(ms(10)) || ms(40).Less(c) {
+			t.Fatalf("frame %d exec %v outside [10ms, 40ms]", f, c)
+		}
+		if f > 0 && !c.Equal(prev) {
+			varied = true
+		}
+		prev = c
+	}
+	if !varied {
+		t.Error("jitter model produced constant times")
+	}
+	// Determinism: the same seed yields the same times.
+	em2, _ := JitterExec(7, lo)
+	for f := 0; f < 20; f++ {
+		if !em(j, f).Equal(em2(j, f)) {
+			t.Fatalf("jitter model not deterministic at frame %d", f)
+		}
+	}
+	if _, err := JitterExec(1, rational.FromInt(2)); err == nil {
+		t.Error("lower fraction above one accepted")
+	}
+	if _, err := JitterExec(1, rational.FromInt(-1)); err == nil {
+		t.Error("negative lower fraction accepted")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	if err := Ideal(2).Validate(); err != nil {
+		t.Errorf("ideal platform invalid: %v", err)
+	}
+	if err := (Platform{Processors: 0}).Validate(); err == nil {
+		t.Error("zero processors accepted")
+	}
+	bad := Platform{Processors: 1, Overhead: OverheadModel{FrameBase: ms(-1)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}

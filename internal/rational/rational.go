@@ -1,0 +1,381 @@
+// Package rational implements exact rational-number arithmetic for the
+// timing domain of fixed-priority process networks.
+//
+// The FPPN paper allows process periods T_p ∈ Q+ and computes the
+// hyperperiod as the least common multiple of rational numbers, so all
+// model time stamps, periods, deadlines and schedule instants in this
+// repository are represented as Rat values rather than floats. Rat uses
+// a 64-bit numerator and denominator in lowest terms; every operation
+// checks for overflow and panics with a descriptive message if the exact
+// result is not representable, which for the millisecond-scale values used
+// by real-time applications never happens in practice.
+package rational
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Rat is an exact rational number. The zero value is 0.
+//
+// Invariants: den > 0 and gcd(|num|, den) == 1, except that the zero value
+// (num == 0, den == 0) is also accepted everywhere and treated as 0. This
+// makes the zero value useful: var t rational.Rat is a valid time stamp 0.
+type Rat struct {
+	num int64
+	den int64
+}
+
+// Zero is the rational number 0.
+var Zero = Rat{0, 1}
+
+// One is the rational number 1.
+var One = Rat{1, 1}
+
+// New returns the rational num/den in lowest terms.
+// It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{num, den}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// Milli returns n/1000, convenient for expressing milliseconds when the
+// model's base time unit is seconds.
+func Milli(n int64) Rat { return New(n, 1000) }
+
+// normalized returns r with the zero value canonicalized to 0/1.
+func (r Rat) normalized() Rat {
+	if r.den == 0 {
+		return Rat{0, 1}
+	}
+	return r
+}
+
+// Num returns the numerator of r in lowest terms.
+func (r Rat) Num() int64 { return r.normalized().num }
+
+// Den returns the (positive) denominator of r in lowest terms.
+func (r Rat) Den() int64 { return r.normalized().den }
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.num == 0 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.normalized().den == 1 }
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch {
+	case r.num > 0:
+		return 1
+	case r.num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	r = r.normalized()
+	return Rat{-r.num, r.den}
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+	g := gcd64(r.den, s.den)
+	db := r.den / g
+	dd := s.den / g
+	den := mulChecked(db, s.den)
+	num := addChecked(mulChecked(r.num, dd), mulChecked(s.num, db))
+	return New(num, den)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// Cross-reduce before multiplying to delay overflow.
+	g1 := gcd64(abs64(r.num), s.den)
+	g2 := gcd64(abs64(s.num), r.den)
+	num := mulChecked(r.num/g1, s.num/g2)
+	den := mulChecked(r.den/g2, s.den/g1)
+	return New(num, den)
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat {
+	s = s.normalized()
+	if s.num == 0 {
+		panic("rational: division by zero")
+	}
+	return r.Mul(Rat{s.den, s.num}.canon())
+}
+
+// canon restores the sign invariant after a manual num/den swap.
+func (r Rat) canon() Rat {
+	if r.den < 0 {
+		return Rat{-r.num, -r.den}
+	}
+	return r
+}
+
+// Cmp compares r and s and returns -1 if r < s, 0 if r == s, +1 if r > s.
+func (r Rat) Cmp(s Rat) int {
+	r, s = r.normalized(), s.normalized()
+	// Compare a/b vs c/d via a*d vs c*b with checked multiplication.
+	lhs := mulChecked(r.num, s.den)
+	rhs := mulChecked(s.num, r.den)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Min returns the smaller of r and s.
+func (r Rat) Min(s Rat) Rat {
+	if r.Cmp(s) <= 0 {
+		return r.normalized()
+	}
+	return s.normalized()
+}
+
+// Max returns the larger of r and s.
+func (r Rat) Max(s Rat) Rat {
+	if r.Cmp(s) >= 0 {
+		return r.normalized()
+	}
+	return s.normalized()
+}
+
+// FloorDiv returns ⌊r / s⌋ as an integer. It panics if s <= 0.
+func (r Rat) FloorDiv(s Rat) int64 {
+	if s.Sign() <= 0 {
+		panic("rational: FloorDiv by non-positive divisor")
+	}
+	q := r.Div(s).normalized()
+	return floorQuot(q.num, q.den)
+}
+
+// Floor returns ⌊r⌋.
+func (r Rat) Floor() int64 {
+	r = r.normalized()
+	return floorQuot(r.num, r.den)
+}
+
+// Ceil returns ⌈r⌉.
+func (r Rat) Ceil() int64 {
+	r = r.normalized()
+	if r.num%r.den == 0 {
+		return r.num / r.den
+	}
+	return floorQuot(r.num, r.den) + 1
+}
+
+// MulInt returns r * n.
+func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
+
+// DivInt returns r / n. It panics if n == 0.
+func (r Rat) DivInt(n int64) Rat { return r.Div(FromInt(n)) }
+
+// Float64 returns the nearest float64 to r. It is intended for reporting
+// (loads, utilizations) only; semantics never depend on it.
+func (r Rat) Float64() float64 {
+	r = r.normalized()
+	return float64(r.num) / float64(r.den)
+}
+
+// Lcm returns the least common multiple of two positive rationals:
+// lcm(a/b, c/d) = lcm(a, c) / gcd(b, d). It panics unless both are > 0.
+func Lcm(r, s Rat) Rat {
+	if r.Sign() <= 0 || s.Sign() <= 0 {
+		panic("rational: Lcm of non-positive values")
+	}
+	r, s = r.normalized(), s.normalized()
+	num := lcm64(r.num, s.num)
+	den := gcd64(r.den, s.den)
+	return New(num, den)
+}
+
+// LcmAll returns the least common multiple of all values, which must be
+// positive. It panics if values is empty.
+func LcmAll(values []Rat) Rat {
+	if len(values) == 0 {
+		panic("rational: LcmAll of empty slice")
+	}
+	acc := values[0]
+	for _, v := range values[1:] {
+		acc = Lcm(acc, v)
+	}
+	return acc
+}
+
+// String formats r as "n" for integers and "n/d" otherwise.
+func (r Rat) String() string {
+	r = r.normalized()
+	if r.den == 1 {
+		return strconv.FormatInt(r.num, 10)
+	}
+	return strconv.FormatInt(r.num, 10) + "/" + strconv.FormatInt(r.den, 10)
+}
+
+// Parse parses a rational from one of the forms "n", "n/d", or a decimal
+// "i.f" (e.g. "1.25" = 5/4).
+func Parse(s string) (Rat, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Rat{}, fmt.Errorf("rational: empty input")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("rational: bad numerator %q: %v", s[:i], err)
+		}
+		den, err := strconv.ParseInt(s[i+1:], 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("rational: bad denominator %q: %v", s[i+1:], err)
+		}
+		if den == 0 {
+			return Rat{}, fmt.Errorf("rational: zero denominator in %q", s)
+		}
+		return New(num, den), nil
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart := s[:i], s[i+1:]
+		if fracPart == "" {
+			return Rat{}, fmt.Errorf("rational: bad decimal %q", s)
+		}
+		neg := strings.HasPrefix(intPart, "-")
+		ip := int64(0)
+		if intPart != "" && intPart != "-" && intPart != "+" {
+			v, err := strconv.ParseInt(intPart, 10, 64)
+			if err != nil {
+				return Rat{}, fmt.Errorf("rational: bad decimal %q: %v", s, err)
+			}
+			ip = v
+		}
+		fp, err := strconv.ParseInt(fracPart, 10, 64)
+		if err != nil || fp < 0 {
+			return Rat{}, fmt.Errorf("rational: bad decimal fraction %q", s)
+		}
+		den := int64(1)
+		for range fracPart {
+			den = mulChecked(den, 10)
+		}
+		frac := New(fp, den)
+		r := FromInt(abs64(ip)).Add(frac)
+		if neg {
+			r = r.Neg()
+		}
+		return r, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("rational: bad integer %q: %v", s, err)
+	}
+	return FromInt(n), nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// package-level constants and tests.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (r Rat) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Rat) UnmarshalText(text []byte) error {
+	v, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 {
+	return mulChecked(a/gcd64(a, b), b)
+}
+
+func addChecked(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(fmt.Sprintf("rational: integer overflow in %d + %d", a, b))
+	}
+	return s
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		panic(fmt.Sprintf("rational: integer overflow in %d * %d", a, b))
+	}
+	return p
+}
+
+// floorQuot returns ⌊n/d⌋ for d > 0.
+func floorQuot(n, d int64) int64 {
+	q := n / d
+	if n%d != 0 && (n < 0) != (d < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,315 @@
+package rt
+
+// This file implements RunConcurrent: the static-order policy executed by
+// one goroutine per processor against a virtual clock, the shape of the
+// paper's multi-thread Linux runtime. Unlike Run (an exact discrete-event
+// computation), the goroutines here really race with each other; only the
+// synchronize-invocation and synchronize-precedence waits of Section IV
+// order them. Tests assert that the outputs are nevertheless identical to
+// the zero-delay reference — Proposition 2.1 made executable.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// vclock is a cooperative virtual clock shared by the processor goroutines.
+// Time advances only when every live goroutine is blocked, jumping to the
+// earliest requested wake-up.
+type vclock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      Time
+	live     int // goroutines not yet finished
+	blocked  int // goroutines currently inside a wait
+	timeReqs map[int]Time
+	// doneWaits records, per blocked goroutine, the completion flag it is
+	// waiting for. A waiter whose flag is already set still counts as
+	// blocked until it reacquires the mutex after a broadcast; advancing
+	// time past that window would be wrong, so maybeAdvance treats such
+	// waiters as runnable.
+	doneWaits map[int]int64
+	done      map[int64]bool // (frame*jobs + index) completion flags
+	err       error
+}
+
+func newVclock(procs int) *vclock {
+	c := &vclock{
+		live:      procs,
+		timeReqs:  make(map[int]Time),
+		doneWaits: make(map[int]int64),
+		done:      make(map[int64]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// maybeAdvance runs with c.mu held: when every live goroutine is blocked
+// and none of them can already make progress, either advance to the
+// earliest requested time or declare a deadlock.
+func (c *vclock) maybeAdvance() {
+	if c.live == 0 || c.blocked < c.live {
+		return
+	}
+	for _, key := range c.doneWaits {
+		if c.done[key] {
+			return // a waiter is about to wake and run at the current time
+		}
+	}
+	if len(c.timeReqs) == 0 {
+		if c.err == nil {
+			c.err = fmt.Errorf("rt: virtual-clock deadlock: all processors wait on precedence that never resolves")
+		}
+		c.cond.Broadcast()
+		return
+	}
+	min := Time{}
+	first := true
+	for _, t := range c.timeReqs {
+		if first || t.Less(min) {
+			min = t
+			first = false
+		}
+	}
+	if c.now.Less(min) {
+		c.now = min
+	}
+	c.cond.Broadcast()
+}
+
+// waitUntil blocks the goroutine id until virtual time reaches t.
+func (c *vclock) waitUntil(id int, t Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.now.Less(t) && c.err == nil {
+		c.timeReqs[id] = t
+		c.blocked++
+		c.maybeAdvance()
+		// maybeAdvance may have advanced the clock to our own request
+		// (we were the last goroutine to block); its broadcast happened
+		// before we entered Wait, so re-check to avoid a lost wake-up.
+		if c.now.Less(t) && c.err == nil {
+			c.cond.Wait()
+		}
+		c.blocked--
+		delete(c.timeReqs, id)
+	}
+	return c.err
+}
+
+// waitDone blocks the goroutine id until the given job instance has
+// completed.
+func (c *vclock) waitDone(id int, key int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.done[key] && c.err == nil {
+		c.doneWaits[id] = key
+		c.blocked++
+		c.maybeAdvance()
+		// Re-check: maybeAdvance may have declared a deadlock error,
+		// whose broadcast precedes our Wait.
+		if !c.done[key] && c.err == nil {
+			c.cond.Wait()
+		}
+		c.blocked--
+		delete(c.doneWaits, id)
+	}
+	return c.err
+}
+
+// markDone flags a job instance complete and wakes all waiters.
+func (c *vclock) markDone(key int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = true
+	c.cond.Broadcast()
+}
+
+// Now returns the current virtual time.
+func (c *vclock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// fail aborts the run with an error.
+func (c *vclock) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
+// finish retires a goroutine from the clock's accounting.
+func (c *vclock) finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live--
+	c.maybeAdvance()
+}
+
+// RunConcurrent executes the static-order policy with one goroutine per
+// processor. Functionally it is equivalent to Run; timing-wise it produces
+// the same start/finish instants in virtual time. It exists to demonstrate
+// (and stress under the race detector) that the FPPN synchronization rules
+// alone — not any global sequentialization — deliver deterministic outputs.
+func RunConcurrent(s *sched.Schedule, cfg Config) (*Report, error) {
+	tg := s.TG
+	if cfg.Frames < 1 {
+		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
+	}
+	if cfg.Pipelined {
+		return nil, fmt.Errorf("rt: RunConcurrent does not support pipelined frames; use Run")
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = platform.WCETExec()
+	}
+	invs, err := PlanInvocations(tg, cfg.Frames, cfg.SporadicEvents)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := combinedOrder(s); err != nil {
+		return nil, err
+	}
+	machine, err := core.NewMachine(tg.Net, core.MachineOptions{Inputs: cfg.Inputs})
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(tg.Jobs)
+	clock := newVclock(s.M)
+	procOrder := s.ProcessorOrder()
+	key := func(frame, index int) int64 { return int64(frame)*int64(n) + int64(index) }
+
+	var dataMu sync.Mutex // serializes Machine access between processors
+
+	type result struct {
+		entries []sched.GanttEntry
+		misses  []Miss
+		skipped []Skip
+	}
+	results := make([]result, s.M)
+	var wg sync.WaitGroup
+
+	for p := 0; p < s.M; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer clock.finish()
+			res := &results[p]
+			h := tg.Hyperperiod
+			for f := 0; f < cfg.Frames; f++ {
+				base := h.MulInt(int64(f))
+				avail := base.Add(cfg.Overhead.FrameOverhead(f, n))
+				if err := clock.waitUntil(p, avail); err != nil {
+					return
+				}
+				for _, i := range procOrder[p] {
+					j := tg.Jobs[i]
+					inv := invs[f][i]
+					// Synchronize invocation.
+					if err := clock.waitUntil(p, inv.Ready); err != nil {
+						return
+					}
+					// Synchronize precedence.
+					for _, pre := range tg.Pred[i] {
+						if err := clock.waitDone(p, key(f, pre)); err != nil {
+							return
+						}
+					}
+					if inv.Skip {
+						res.skipped = append(res.skipped, Skip{Job: j, Frame: f})
+						clock.markDone(key(f, i))
+						continue
+					}
+					// Execute.
+					start := clock.Now()
+					dataMu.Lock()
+					// The per-process invocation count must follow the
+					// frame-global job order; precedence sync already
+					// guarantees it for every pair of jobs that share
+					// state, so any interleaving of the remaining
+					// (unrelated) jobs is safe here.
+					execErr := machine.ExecJob(j.Proc, inv.Ready)
+					dataMu.Unlock()
+					if execErr != nil {
+						clock.fail(execErr)
+						return
+					}
+					c := exec(j, f)
+					if c.Sign() < 0 {
+						clock.fail(fmt.Errorf("rt: negative execution time %v for %s", c, j.Name()))
+						return
+					}
+					end := start.Add(c)
+					if err := clock.waitUntil(p, end); err != nil {
+						return
+					}
+					res.entries = append(res.entries, sched.GanttEntry{
+						Proc: p, Label: j.Name(), Start: start, End: end,
+					})
+					if deadline := base.Add(j.Deadline); deadline.Less(end) {
+						res.misses = append(res.misses, Miss{Job: j, Frame: f, Finish: end, Deadline: deadline})
+					}
+					clock.markDone(key(f, i))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if clock.err != nil {
+		return nil, clock.err
+	}
+
+	report := &Report{Schedule: s, Frames: cfg.Frames}
+	for _, res := range results {
+		report.Entries = append(report.Entries, res.entries...)
+		report.Misses = append(report.Misses, res.misses...)
+		report.Skipped = append(report.Skipped, res.skipped...)
+	}
+	sort.Slice(report.Entries, func(a, b int) bool {
+		ea, eb := report.Entries[a], report.Entries[b]
+		if !ea.Start.Equal(eb.Start) {
+			return ea.Start.Less(eb.Start)
+		}
+		if ea.Proc != eb.Proc {
+			return ea.Proc < eb.Proc
+		}
+		return ea.Label < eb.Label
+	})
+	sort.Slice(report.Misses, func(a, b int) bool {
+		ma, mb := report.Misses[a], report.Misses[b]
+		if ma.Frame != mb.Frame {
+			return ma.Frame < mb.Frame
+		}
+		return ma.Job.Index < mb.Job.Index
+	})
+	sort.Slice(report.Skipped, func(a, b int) bool {
+		sa, sb := report.Skipped[a], report.Skipped[b]
+		if sa.Frame != sb.Frame {
+			return sa.Frame < sb.Frame
+		}
+		return sa.Job.Index < sb.Job.Index
+	})
+	for _, e := range report.Entries {
+		if report.Makespan.Less(e.End) {
+			report.Makespan = e.End
+		}
+	}
+	for _, m := range report.Misses {
+		if late := m.Finish.Sub(m.Deadline); report.MaxLateness.Less(late) {
+			report.MaxLateness = late
+		}
+	}
+	report.Outputs = machine.Outputs()
+	report.Channels = machine.ChannelSnapshot()
+	return report, nil
+}

@@ -1,0 +1,437 @@
+// Package rt implements the online scheduling policy of Section IV of the
+// DATE 2015 FPPN paper: static-order execution of a compile-time schedule,
+// repeated every hyperperiod as a periodic frame.
+//
+// On each processor independently, the scheduler picks the frame's jobs in
+// the order of their static start times and executes a round per job:
+//
+//	Synchronize Invocation — wait for the event invocation corresponding to
+//	    the job. Periodic invocations occur at the job's arrival time A_i;
+//	    sporadic ones occur at A_i or earlier, or not at all, in which case
+//	    the job is marked "false" at A_i and skipped.
+//	Synchronize Precedence — wait until all task-graph predecessors have
+//	    completed (instead of trusting the static start times, which are
+//	    not robust against execution-time variation).
+//	Execute — run the job unless it is marked false.
+//
+// Each sporadic process p is represented by server-job subsets; the subset
+// arriving at boundary b stands in for the real jobs invoked in the window
+// (b−T', b] when p has priority over its user, or [b−T', b) otherwise
+// (Fig. 2). Proposition 4.1: on a feasible static schedule this policy
+// meets all deadlines and implements the real-time semantics of the FPPN —
+// which package tests verify against the zero-delay reference executor.
+//
+// Two runners are provided: Run, an exact discrete-event computation of the
+// policy, and RunConcurrent, which executes one goroutine per processor
+// against a virtual clock, demonstrating determinism under genuinely
+// concurrent execution.
+package rt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rational"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// Config parameterizes a runtime execution.
+type Config struct {
+	// Frames is the number of hyperperiod frames to execute (>= 1).
+	Frames int
+	// SporadicEvents maps sporadic process names to absolute event time
+	// stamps over the whole run ([0, Frames·H)).
+	SporadicEvents map[string][]Time
+	// Exec yields actual execution times; nil means WCET.
+	Exec platform.ExecModel
+	// Overhead is the frame-management overhead model.
+	Overhead platform.OverheadModel
+	// Inputs supplies external input samples (indexed by invocation count
+	// across the whole run).
+	Inputs map[string][]core.Value
+	// RecordTrace enables action-trace recording in the data machine.
+	RecordTrace bool
+	// Pipelined executes overlapping frames: jobs of frame f+1 may start
+	// while frame f's tail is still running on other processors, with
+	// cross-frame precedence enforced between related processes. Use
+	// with schedules derived with a DeadlineSlack and validated by
+	// sched.ValidatePipelined. Only Run supports it; RunConcurrent
+	// rejects it.
+	Pipelined bool
+}
+
+// Miss is a deadline violation observed at run time.
+type Miss struct {
+	Job      *taskgraph.Job
+	Frame    int
+	Finish   Time // absolute completion time
+	Deadline Time // absolute required time fH + D_i
+}
+
+func (m Miss) String() string {
+	return fmt.Sprintf("frame %d: %s finished %v > deadline %v (late by %v)",
+		m.Frame, m.Job.Name(), m.Finish, m.Deadline, m.Finish.Sub(m.Deadline))
+}
+
+// Skip records a server job marked false (no corresponding sporadic event).
+type Skip struct {
+	Job   *taskgraph.Job
+	Frame int
+}
+
+// Report is the outcome of a runtime execution.
+type Report struct {
+	Schedule *sched.Schedule
+	Frames   int
+	// Entries holds the executed intervals with absolute times.
+	Entries []sched.GanttEntry
+	// Misses lists deadline violations in completion order.
+	Misses []Miss
+	// Skipped lists false-marked server jobs.
+	Skipped []Skip
+	// Outputs are the external output samples produced.
+	Outputs map[string][]core.Sample
+	// Channels is the final internal channel state.
+	Channels map[string][]core.Value
+	// Trace is the recorded action trace (if enabled).
+	Trace core.Trace
+	// Makespan is the absolute completion time of the last job.
+	Makespan Time
+	// MaxLateness is the largest positive (finish − deadline), or zero.
+	MaxLateness Time
+}
+
+// Gantt renders the executed intervals over the full run horizon.
+func (r *Report) Gantt(width int) string {
+	horizon := r.Schedule.TG.Hyperperiod.MulInt(int64(r.Frames))
+	return sched.GanttChart(r.Entries, r.Schedule.M, horizon, width)
+}
+
+// Summary formats the headline numbers of the run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d frames on %d processors: %d intervals, %d deadline misses, %d skipped server jobs, makespan %v s",
+		r.Frames, r.Schedule.M, len(r.Entries), len(r.Misses), len(r.Skipped), r.Makespan)
+}
+
+// JobPlan carries the resolved synchronize-invocation outcome for one job
+// instance in one frame.
+type JobPlan struct {
+	// Ready is the absolute time the invocation synchronization
+	// completes: the event time for invoked sporadic jobs (possibly
+	// before A_i), fH + A_i for periodic jobs and for false jobs.
+	Ready Time
+	// Skip marks a false server job.
+	Skip bool
+	// EventIndex is, for executed server jobs, the 1-based position of
+	// the corresponding sporadic event in the process's time-ordered
+	// event sequence (0 for periodic jobs and skips). The generated
+	// timed-automata system guards server-job execution on the event
+	// counter reaching this value.
+	EventIndex int
+}
+
+// PlanInvocations maps every (frame, job) instance to its invocation
+// outcome, distributing sporadic events to server subsets per the boundary
+// rules of Fig. 2. The result is indexed [frame][job index].
+func PlanInvocations(tg *taskgraph.TaskGraph, frames int, events map[string][]Time) ([][]JobPlan, error) {
+	h := tg.Hyperperiod
+	horizon := h.MulInt(int64(frames))
+
+	// windowed[proc][boundary.String()] = events whose window ends at
+	// that absolute boundary, in time order.
+	type plannedEvent struct {
+		time  Time
+		index int // 1-based position in the process's event sequence
+	}
+	windowed := make(map[string]map[string][]plannedEvent)
+	for proc, times := range events {
+		p := tg.Net.Process(proc)
+		if p == nil {
+			return nil, fmt.Errorf("rt: sporadic events for unknown process %q", proc)
+		}
+		if !p.IsSporadic() {
+			return nil, fmt.Errorf("rt: sporadic events for non-sporadic process %q", proc)
+		}
+		tp, ok := tg.ServerPeriod[proc]
+		if !ok {
+			return nil, fmt.Errorf("rt: process %q has no server period in the task graph", proc)
+		}
+		sorted := make([]Time, len(times))
+		copy(sorted, times)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		if err := p.Gen.CheckSporadic(sorted); err != nil {
+			return nil, fmt.Errorf("rt: process %q: %w", proc, err)
+		}
+		m := make(map[string][]plannedEvent)
+		for idx, tau := range sorted {
+			if !tau.Less(horizon) {
+				return nil, fmt.Errorf("rt: event for %q at %v is beyond the run horizon %v", proc, tau, horizon)
+			}
+			var b Time
+			if tg.IncludeRight[proc] {
+				// Window (b − T', b]: b = ⌈τ/T'⌉·T'.
+				b = tp.MulInt(tau.Div(tp).Ceil())
+			} else {
+				// Window [b − T', b): b = (⌊τ/T'⌋ + 1)·T'.
+				b = tp.MulInt(tau.Div(tp).Floor() + 1)
+			}
+			key := b.String()
+			m[key] = append(m[key], plannedEvent{time: tau, index: idx + 1})
+		}
+		windowed[proc] = m
+	}
+
+	out := make([][]JobPlan, frames)
+	for f := 0; f < frames; f++ {
+		base := h.MulInt(int64(f))
+		invs := make([]JobPlan, len(tg.Jobs))
+		for i, j := range tg.Jobs {
+			abs := base.Add(j.Arrival)
+			if !j.Server {
+				invs[i] = JobPlan{Ready: abs}
+				continue
+			}
+			ws := windowed[j.Proc][abs.String()]
+			if j.SlotInSubset <= len(ws) {
+				ev := ws[j.SlotInSubset-1]
+				invs[i] = JobPlan{Ready: ev.time, EventIndex: ev.index}
+			} else {
+				invs[i] = JobPlan{Ready: abs, Skip: true}
+			}
+		}
+		out[f] = invs
+	}
+
+	// Every event must land in some executed subset; events whose
+	// boundary falls beyond the run are lost, which the caller almost
+	// certainly did not intend.
+	for proc, m := range windowed {
+		for key := range m {
+			b, err := rational.Parse(key)
+			if err != nil {
+				return nil, fmt.Errorf("rt: internal boundary parse: %w", err)
+			}
+			if !b.Less(horizon) {
+				return nil, fmt.Errorf("rt: events for %q in the window ending at %v are handled only after the run's last frame; extend Frames", proc, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// combinedOrder returns a topological order of the frame's jobs with
+// respect to precedence edges plus per-processor static chains. It fails if
+// the static schedule contradicts the precedence constraints.
+func combinedOrder(s *sched.Schedule) ([]int, error) {
+	tg := s.TG
+	n := len(tg.Jobs)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	add := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+	for _, e := range tg.Edges() {
+		add(e[0], e[1])
+	}
+	for _, chain := range s.ProcessorOrder() {
+		for i := 1; i < len(chain); i++ {
+			add(chain[i-1], chain[i])
+		}
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		var next []int
+		for _, u := range adj[v] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				next = append(next, u)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("rt: static schedule is inconsistent with the precedence constraints (cycle between processor order and task graph)")
+	}
+	return order, nil
+}
+
+// Run executes the static-order policy as an exact discrete-event
+// computation and returns the full report.
+func Run(s *sched.Schedule, cfg Config) (*Report, error) {
+	tg := s.TG
+	if cfg.Frames < 1 {
+		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = platform.WCETExec()
+	}
+	invs, err := PlanInvocations(tg, cfg.Frames, cfg.SporadicEvents)
+	if err != nil {
+		return nil, err
+	}
+	order, err := combinedOrder(s)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := core.NewMachine(tg.Net, core.MachineOptions{
+		Inputs:      cfg.Inputs,
+		RecordTrace: cfg.RecordTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(tg.Jobs)
+	procOrder := s.ProcessorOrder()
+	procChainPrev := make([]int, n) // previous job index on the same processor, or -1
+	for i := range procChainPrev {
+		procChainPrev[i] = -1
+	}
+	for _, chain := range procOrder {
+		for i := 1; i < len(chain); i++ {
+			procChainPrev[chain[i]] = chain[i-1]
+		}
+	}
+
+	report := &Report{Schedule: s, Frames: cfg.Frames}
+	h := tg.Hyperperiod
+	lastFinishOnProc := make([]Time, s.M) // carry-over across frames
+	finish := make([]Time, n)
+	// In pipelined mode, cross-frame precedence: a job must wait for the
+	// previous frame's jobs of every related process. prevProcFinish
+	// holds each process's latest finish in the previous frame.
+	prevProcFinish := make(map[string]Time)
+
+	type dataJob struct {
+		frame int
+		index int
+		now   Time
+	}
+	var dataJobs []dataJob
+
+	for f := 0; f < cfg.Frames; f++ {
+		base := h.MulInt(int64(f))
+		avail := base.Add(cfg.Overhead.FrameOverhead(f, n))
+		for _, i := range order {
+			j := tg.Jobs[i]
+			inv := invs[f][i]
+			start := avail
+			if start.Less(inv.Ready) {
+				start = inv.Ready
+			}
+			if prev := procChainPrev[i]; prev >= 0 {
+				if start.Less(finish[prev]) {
+					start = finish[prev]
+				}
+			} else if carry := lastFinishOnProc[s.Assign[i].Proc]; start.Less(carry) {
+				start = carry
+			}
+			for _, p := range tg.Pred[i] {
+				if start.Less(finish[p]) {
+					start = finish[p]
+				}
+			}
+			if cfg.Pipelined {
+				for q, fin := range prevProcFinish {
+					if tg.Related(j.Proc, q) && start.Less(fin) {
+						start = fin
+					}
+				}
+			}
+			if inv.Skip {
+				finish[i] = start
+				report.Skipped = append(report.Skipped, Skip{Job: j, Frame: f})
+				continue
+			}
+			c := exec(j, f)
+			if c.Sign() < 0 {
+				return nil, fmt.Errorf("rt: negative execution time %v for %s", c, j.Name())
+			}
+			finish[i] = start.Add(c)
+			report.Entries = append(report.Entries, sched.GanttEntry{
+				Proc:  s.Assign[i].Proc,
+				Label: j.Name(),
+				Start: start,
+				End:   finish[i],
+			})
+			deadline := base.Add(j.Deadline)
+			if deadline.Less(finish[i]) {
+				report.Misses = append(report.Misses, Miss{
+					Job: j, Frame: f, Finish: finish[i], Deadline: deadline,
+				})
+				if late := finish[i].Sub(deadline); report.MaxLateness.Less(late) {
+					report.MaxLateness = late
+				}
+			}
+			if report.Makespan.Less(finish[i]) {
+				report.Makespan = finish[i]
+			}
+			dataJobs = append(dataJobs, dataJob{frame: f, index: i, now: inv.Ready})
+		}
+		for p := 0; p < s.M; p++ {
+			// The frame's last finish on each processor carries over.
+			last := lastFinishOnProc[p]
+			for _, i := range procOrder[p] {
+				if last.Less(finish[i]) {
+					last = finish[i]
+				}
+			}
+			lastFinishOnProc[p] = last
+		}
+		if cfg.Pipelined {
+			clear(prevProcFinish)
+			for i, j := range tg.Jobs {
+				if prevProcFinish[j.Proc].Less(finish[i]) {
+					prevProcFinish[j.Proc] = finish[i]
+				}
+			}
+		}
+	}
+
+	// Execute the data semantics in the zero-delay total order
+	// (frame, <_J index): precedence and mutual-exclusion synchronization
+	// guarantee this matches the real execution order of every pair of
+	// jobs that share state.
+	sort.SliceStable(dataJobs, func(a, b int) bool {
+		if dataJobs[a].frame != dataJobs[b].frame {
+			return dataJobs[a].frame < dataJobs[b].frame
+		}
+		return dataJobs[a].index < dataJobs[b].index
+	})
+	var lastWait Time
+	haveWait := false
+	for _, dj := range dataJobs {
+		if !haveWait || !dj.now.Equal(lastWait) {
+			machine.Wait(dj.now)
+			lastWait = dj.now
+			haveWait = true
+		}
+		if err := machine.ExecJob(tg.Jobs[dj.index].Proc, dj.now); err != nil {
+			return nil, err
+		}
+	}
+
+	report.Outputs = machine.Outputs()
+	report.Channels = machine.ChannelSnapshot()
+	report.Trace = machine.Trace()
+	return report, nil
+}

@@ -1,0 +1,366 @@
+// Package sched implements the compile-time scheduling algorithm of
+// Section III-B of the DATE 2015 FPPN paper: non-preemptive list scheduling
+// of a derived task graph on M identical processors, driven by a heuristic
+// schedule priority SP (not to be confused with the functional priority FP
+// that defines the precedence edges).
+//
+// The result is a static schedule — a mapping µ_i and start time s_i for
+// every job — repeated every hyperperiod as a periodic frame. Feasibility
+// (Definition 3.2: arrival, deadline, precedence and mutual-exclusion
+// constraints) is checked by Schedule.Validate.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// Heuristic selects the schedule-priority order SP used by the list
+// scheduler. The paper notes EDF adjusted to ALAP deadlines, b-level, and
+// modified-deadline-monotonic variants.
+type Heuristic int
+
+const (
+	// ALAPEDF orders jobs by ALAP completion time D'_i — EDF with the
+	// nominal deadlines replaced by the precedence-adjusted ones. This is
+	// the paper's default.
+	ALAPEDF Heuristic = iota
+	// BLevel orders jobs by decreasing b-level (longest WCET path from
+	// the job to a sink, inclusive), the classic static list-scheduling
+	// priority from Kwok & Ahmad's survey.
+	BLevel
+	// DeadlineMonotonic orders jobs by relative deadline D_i − A_i.
+	DeadlineMonotonic
+	// EDF orders jobs by the nominal (unadjusted) absolute deadline D_i.
+	EDF
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case ALAPEDF:
+		return "alap-edf"
+	case BLevel:
+		return "b-level"
+	case DeadlineMonotonic:
+		return "deadline-monotonic"
+	case EDF:
+		return "edf"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Heuristics lists all implemented heuristics in preference order.
+var Heuristics = []Heuristic{ALAPEDF, BLevel, DeadlineMonotonic, EDF}
+
+// Assignment is one job's placement: processor µ_i and start time s_i.
+type Assignment struct {
+	Proc  int
+	Start Time
+}
+
+// Schedule is a static schedule for a task graph on M processors.
+type Schedule struct {
+	TG *taskgraph.TaskGraph
+	M  int
+	// Assign is indexed by job index.
+	Assign []Assignment
+	// Heuristic records which SP produced the schedule.
+	Heuristic Heuristic
+}
+
+// End returns the completion time e_i = s_i + C_i of job i.
+func (s *Schedule) End(i int) Time {
+	return s.Assign[i].Start.Add(s.TG.Jobs[i].WCET)
+}
+
+// Miss describes a deadline violation in a static schedule.
+type Miss struct {
+	Job      *taskgraph.Job
+	End      Time
+	Deadline Time
+}
+
+func (m Miss) String() string {
+	return fmt.Sprintf("%s completes at %v after deadline %v", m.Job.Name(), m.End, m.Deadline)
+}
+
+// Misses returns all deadline violations, in job order.
+func (s *Schedule) Misses() []Miss {
+	var out []Miss
+	for i, j := range s.TG.Jobs {
+		if e := s.End(i); j.Deadline.Less(e) {
+			out = append(out, Miss{Job: j, End: e, Deadline: j.Deadline})
+		}
+	}
+	return out
+}
+
+// Validate checks the feasibility constraints of Definition 3.2:
+//
+//	arrival:          s_i >= A_i
+//	deadline:         e_i <= D_i
+//	precedence:       (J_i, J_j) ∈ E ⇒ e_i <= s_j
+//	mutual exclusion: µ_i = µ_j ⇒ e_i <= s_j ∨ e_j <= s_i
+func (s *Schedule) Validate() error {
+	tg := s.TG
+	if len(s.Assign) != len(tg.Jobs) {
+		return fmt.Errorf("sched: %d assignments for %d jobs", len(s.Assign), len(tg.Jobs))
+	}
+	for i, j := range tg.Jobs {
+		a := s.Assign[i]
+		if a.Proc < 0 || a.Proc >= s.M {
+			return fmt.Errorf("sched: job %s mapped to processor %d of %d", j.Name(), a.Proc, s.M)
+		}
+		if a.Start.Less(j.Arrival) {
+			return fmt.Errorf("sched: job %s starts at %v before arrival %v", j.Name(), a.Start, j.Arrival)
+		}
+		if j.Deadline.Less(s.End(i)) {
+			return fmt.Errorf("sched: job %s misses deadline: ends %v > %v", j.Name(), s.End(i), j.Deadline)
+		}
+	}
+	for _, e := range tg.Edges() {
+		if s.Assign[e[1]].Start.Less(s.End(e[0])) {
+			return fmt.Errorf("sched: precedence %s -> %s violated",
+				tg.Jobs[e[0]].Name(), tg.Jobs[e[1]].Name())
+		}
+	}
+	// Mutual exclusion per processor.
+	byProc := make([][]int, s.M)
+	for i := range tg.Jobs {
+		p := s.Assign[i].Proc
+		byProc[p] = append(byProc[p], i)
+	}
+	for p, jobs := range byProc {
+		sort.Slice(jobs, func(a, b int) bool {
+			return s.Assign[jobs[a]].Start.Less(s.Assign[jobs[b]].Start)
+		})
+		for i := 1; i < len(jobs); i++ {
+			prev, cur := jobs[i-1], jobs[i]
+			if s.Assign[cur].Start.Less(s.End(prev)) {
+				return fmt.Errorf("sched: jobs %s and %s overlap on processor %d",
+					tg.Jobs[prev].Name(), tg.Jobs[cur].Name(), p)
+			}
+		}
+	}
+	return nil
+}
+
+// ProcessorOrder returns, for each processor, the job indices in start-time
+// order — the static order the online policy of Section IV executes.
+func (s *Schedule) ProcessorOrder() [][]int {
+	byProc := make([][]int, s.M)
+	for i := range s.TG.Jobs {
+		p := s.Assign[i].Proc
+		byProc[p] = append(byProc[p], i)
+	}
+	for p := range byProc {
+		jobs := byProc[p]
+		sort.Slice(jobs, func(a, b int) bool {
+			sa, sb := s.Assign[jobs[a]].Start, s.Assign[jobs[b]].Start
+			if !sa.Equal(sb) {
+				return sa.Less(sb)
+			}
+			return jobs[a] < jobs[b]
+		})
+	}
+	return byProc
+}
+
+// Makespan returns the latest completion time in the frame.
+func (s *Schedule) Makespan() Time {
+	max := rational.Zero
+	for i := range s.TG.Jobs {
+		if e := s.End(i); max.Less(e) {
+			max = e
+		}
+	}
+	return max
+}
+
+// priorities computes the SP rank of every job (lower = scheduled first).
+func priorities(tg *taskgraph.TaskGraph, h Heuristic) []int {
+	n := len(tg.Jobs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var key func(i int) Time
+	switch h {
+	case ALAPEDF:
+		alap := tg.ALAP()
+		key = func(i int) Time { return alap[i] }
+	case BLevel:
+		bl := blevels(tg)
+		key = func(i int) Time { return bl[i].Neg() } // longer path first
+	case DeadlineMonotonic:
+		key = func(i int) Time { return tg.Jobs[i].Deadline.Sub(tg.Jobs[i].Arrival) }
+	case EDF:
+		key = func(i int) Time { return tg.Jobs[i].Deadline }
+	default:
+		panic(fmt.Sprintf("sched: unknown heuristic %d", int(h)))
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := key(idx[a]), key(idx[b])
+		if !ka.Equal(kb) {
+			return ka.Less(kb)
+		}
+		return idx[a] < idx[b] // <_J order breaks ties
+	})
+	rank := make([]int, n)
+	for r, i := range idx {
+		rank[i] = r
+	}
+	return rank
+}
+
+// blevels returns, for every job, the length of the longest WCET chain
+// starting at (and including) the job.
+func blevels(tg *taskgraph.TaskGraph) []Time {
+	n := len(tg.Jobs)
+	bl := make([]Time, n)
+	for i := n - 1; i >= 0; i-- {
+		best := rational.Zero
+		for _, s := range tg.Succ[i] {
+			if best.Less(bl[s]) {
+				best = bl[s]
+			}
+		}
+		bl[i] = tg.Jobs[i].WCET.Add(best)
+	}
+	return bl
+}
+
+// ListSchedule runs the list-scheduling simulation: at every decision
+// instant, each idle processor picks the highest-SP job that has arrived
+// and whose task-graph predecessors have all completed.
+func ListSchedule(tg *taskgraph.TaskGraph, m int, h Heuristic) (*Schedule, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("sched: %d processors", m)
+	}
+	n := len(tg.Jobs)
+	rank := priorities(tg, h)
+
+	procFree := make([]Time, m)
+	finish := make([]Time, n)
+	started := make([]bool, n)
+	assign := make([]Assignment, n)
+
+	t := rational.Zero
+	scheduled := 0
+	for scheduled < n {
+		// Jobs ready at time t: arrived, not yet placed, and with every
+		// task-graph predecessor completed by t (the list-scheduling
+		// extension of the classic readiness condition).
+		var ready []int
+		for i, j := range tg.Jobs {
+			if started[i] || t.Less(j.Arrival) {
+				continue
+			}
+			ok := true
+			for _, p := range tg.Pred[i] {
+				if !started[p] || t.Less(finish[p]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool { return rank[ready[a]] < rank[ready[b]] })
+
+		// Idle processors at time t, earliest-free first.
+		var idle []int
+		for p := range procFree {
+			if procFree[p].LessEq(t) {
+				idle = append(idle, p)
+			}
+		}
+
+		for len(idle) > 0 && len(ready) > 0 {
+			i := ready[0]
+			ready = ready[1:]
+			p := idle[0]
+			idle = idle[1:]
+			assign[i] = Assignment{Proc: p, Start: t}
+			started[i] = true
+			finish[i] = t.Add(tg.Jobs[i].WCET)
+			procFree[p] = finish[i]
+			scheduled++
+		}
+
+		if scheduled == n {
+			break
+		}
+
+		// Advance to the next decision instant: the earliest future
+		// event among processor releases, job arrivals, and
+		// predecessor completions.
+		next := Time{}
+		haveNext := false
+		consider := func(c Time) {
+			if t.Less(c) && (!haveNext || c.Less(next)) {
+				next = c
+				haveNext = true
+			}
+		}
+		for p := range procFree {
+			consider(procFree[p])
+		}
+		for i, j := range tg.Jobs {
+			if !started[i] {
+				consider(j.Arrival)
+			} else {
+				consider(finish[i])
+			}
+		}
+		if !haveNext {
+			return nil, fmt.Errorf("sched: scheduler stalled at %v with %d/%d jobs placed", t, scheduled, n)
+		}
+		t = next
+	}
+	return &Schedule{TG: tg, M: m, Assign: assign, Heuristic: h}, nil
+}
+
+// FindFeasible tries every heuristic in order on the given processor count
+// and returns the first schedule satisfying all feasibility constraints,
+// or an error describing the last failure.
+func FindFeasible(tg *taskgraph.TaskGraph, m int) (*Schedule, error) {
+	var lastErr error
+	for _, h := range Heuristics {
+		s, err := ListSchedule(tg, m, h)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			lastErr = err
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("sched: no heuristic found a feasible schedule on %d processors: %w", m, lastErr)
+}
+
+// MinProcessors searches for the smallest processor count in [1, max] with
+// a feasible schedule, returning the schedule found.
+func MinProcessors(tg *taskgraph.TaskGraph, max int) (*Schedule, error) {
+	lower := int(tg.Load().Ceil())
+	if lower < 1 {
+		lower = 1
+	}
+	for m := lower; m <= max; m++ {
+		if s, err := FindFeasible(tg, m); err == nil {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: no feasible schedule with up to %d processors", max)
+}

@@ -1,0 +1,490 @@
+// Package ta implements a network of timed automata with shared discrete
+// variables, together with a deterministic interpreter. The paper's
+// prototype tools "are based on automatic translation of the FPPN network
+// and the schedule to a network of timed automata" executed by a runtime
+// engine; package codegen performs that translation onto this
+// representation, and the interpreter here plays the role of the engine.
+//
+// The supported fragment is the one the translation needs:
+//
+//   - each automaton owns rational-valued clocks, reset on edges;
+//   - location invariants are upper bounds (c <= k) that force progress;
+//   - edge guards combine clock constraints (c >= k, c == k, c <= k) with
+//     arbitrary predicates over the shared integer variables;
+//   - edges update shared variables and may invoke a host action (the hook
+//     through which the generated system drives job execution);
+//   - communication between automata happens exclusively through the
+//     shared variables, so a configuration's behaviour is a deterministic
+//     function of the edge order, which the interpreter fixes.
+package ta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rational"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// Op is a clock-constraint operator.
+type Op int
+
+const (
+	// GE is c >= bound.
+	GE Op = iota
+	// EQ is c == bound.
+	EQ
+	// LE is c <= bound.
+	LE
+)
+
+// Constraint compares one clock of the owning automaton with a constant.
+type Constraint struct {
+	Clock string
+	Op    Op
+	Bound Time
+}
+
+// String renders the constraint, e.g. "x >= 1/5".
+func (c Constraint) String() string {
+	op := map[Op]string{GE: ">=", EQ: "==", LE: "<="}[c.Op]
+	return fmt.Sprintf("%s %s %v", c.Clock, op, c.Bound)
+}
+
+// Vars is the shared discrete state of a network.
+type Vars map[string]int64
+
+// Edge is a guarded transition of one automaton.
+type Edge struct {
+	From string
+	To   string
+	// ClockGuard is a conjunction of clock constraints.
+	ClockGuard []Constraint
+	// VarGuard is a predicate over the shared variables (nil = true).
+	VarGuard func(v Vars) bool
+	// Resets lists clocks reset to zero when the edge fires.
+	Resets []string
+	// Update mutates the shared variables when the edge fires (may be
+	// nil).
+	Update func(v Vars)
+	// Action is a host callback invoked when the edge fires, after
+	// Update, with the current network time (may be nil).
+	Action func(now Time) error
+	// Label is a human-readable name for traces and DOT export.
+	Label string
+}
+
+// Invariant is an upper bound a location imposes on a clock.
+type Invariant struct {
+	Clock string
+	Bound Time
+}
+
+// Automaton is one timed automaton.
+type Automaton struct {
+	Name    string
+	Initial string
+	// Clocks lists the clock names owned by the automaton.
+	Clocks []string
+	// Invariants maps locations to their (conjunctive) upper bounds.
+	Invariants map[string][]Invariant
+	// Edges is the transition relation; within one source location the
+	// interpreter tries edges in slice order, which makes execution
+	// deterministic.
+	Edges []Edge
+}
+
+// Validate checks structural sanity.
+func (a *Automaton) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("ta: automaton with empty name")
+	}
+	if a.Initial == "" {
+		return fmt.Errorf("ta: automaton %q: empty initial location", a.Name)
+	}
+	clocks := make(map[string]bool)
+	for _, c := range a.Clocks {
+		clocks[c] = true
+	}
+	for _, e := range a.Edges {
+		if e.From == "" || e.To == "" {
+			return fmt.Errorf("ta: automaton %q: edge with empty endpoint", a.Name)
+		}
+		for _, g := range e.ClockGuard {
+			if !clocks[g.Clock] {
+				return fmt.Errorf("ta: automaton %q: guard on unknown clock %q", a.Name, g.Clock)
+			}
+		}
+		for _, r := range e.Resets {
+			if !clocks[r] {
+				return fmt.Errorf("ta: automaton %q: reset of unknown clock %q", a.Name, r)
+			}
+		}
+	}
+	for loc, invs := range a.Invariants {
+		for _, inv := range invs {
+			if !clocks[inv.Clock] {
+				return fmt.Errorf("ta: automaton %q: invariant on unknown clock %q at %q", a.Name, inv.Clock, loc)
+			}
+		}
+	}
+	return nil
+}
+
+// Network is a set of automata plus the initial shared-variable valuation.
+type Network struct {
+	Automata []*Automaton
+	Init     Vars
+}
+
+// Validate checks every automaton and name uniqueness.
+func (n *Network) Validate() error {
+	seen := make(map[string]bool)
+	for _, a := range n.Automata {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("ta: duplicate automaton %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Firing records one edge execution for traces.
+type Firing struct {
+	Time      Time
+	Automaton string
+	Label     string
+}
+
+func (f Firing) String() string { return fmt.Sprintf("@%v %s: %s", f.Time, f.Automaton, f.Label) }
+
+// Interpreter executes a network.
+type Interpreter struct {
+	net    *Network
+	loc    []string
+	clocks []map[string]Time
+	vars   Vars
+	now    Time
+	trace  []Firing
+	record bool
+	// MaxFirings bounds zero-time firing cascades (default 1 << 20).
+	MaxFirings int
+}
+
+// NewInterpreter builds an interpreter over a validated network.
+func NewInterpreter(net *Network, recordTrace bool) (*Interpreter, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Interpreter{
+		net:    net,
+		loc:    make([]string, len(net.Automata)),
+		clocks: make([]map[string]Time, len(net.Automata)),
+		vars:   Vars{},
+		record: recordTrace,
+	}
+	for k, v := range net.Init {
+		in.vars[k] = v
+	}
+	for i, a := range net.Automata {
+		in.loc[i] = a.Initial
+		cs := make(map[string]Time, len(a.Clocks))
+		for _, c := range a.Clocks {
+			cs[c] = rational.Zero
+		}
+		in.clocks[i] = cs
+	}
+	return in, nil
+}
+
+// Now returns the current network time.
+func (in *Interpreter) Now() Time { return in.now }
+
+// Vars returns the live shared-variable valuation.
+func (in *Interpreter) Vars() Vars { return in.vars }
+
+// Location returns the current location of the named automaton.
+func (in *Interpreter) Location(name string) string {
+	for i, a := range in.net.Automata {
+		if a.Name == name {
+			return in.loc[i]
+		}
+	}
+	return ""
+}
+
+// Trace returns the recorded firings.
+func (in *Interpreter) Trace() []Firing { return in.trace }
+
+// guardSatisfiedNow reports whether all clock constraints hold at delay 0.
+func (in *Interpreter) guardSatisfiedNow(ai int, g []Constraint) bool {
+	for _, c := range g {
+		v := in.clocks[ai][c.Clock]
+		switch c.Op {
+		case GE:
+			if v.Less(c.Bound) {
+				return false
+			}
+		case EQ:
+			if !v.Equal(c.Bound) {
+				return false
+			}
+		case LE:
+			if c.Bound.Less(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enabledEdge returns the first enabled edge of automaton ai, or nil.
+func (in *Interpreter) enabledEdge(ai int) *Edge {
+	a := in.net.Automata[ai]
+	for k := range a.Edges {
+		e := &a.Edges[k]
+		if e.From != in.loc[ai] {
+			continue
+		}
+		if !in.guardSatisfiedNow(ai, e.ClockGuard) {
+			continue
+		}
+		if e.VarGuard != nil && !e.VarGuard(in.vars) {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// fire executes an edge of automaton ai.
+func (in *Interpreter) fire(ai int, e *Edge) error {
+	if e.Update != nil {
+		e.Update(in.vars)
+	}
+	for _, r := range e.Resets {
+		in.clocks[ai][r] = rational.Zero
+	}
+	in.loc[ai] = e.To
+	if in.record {
+		label := e.Label
+		if label == "" {
+			label = e.From + "->" + e.To
+		}
+		in.trace = append(in.trace, Firing{Time: in.now, Automaton: in.net.Automata[ai].Name, Label: label})
+	}
+	if e.Action != nil {
+		if err := e.Action(in.now); err != nil {
+			return fmt.Errorf("ta: action on %s of %q at %v: %w",
+				e.Label, in.net.Automata[ai].Name, in.now, err)
+		}
+	}
+	return nil
+}
+
+// earliestEnable returns the smallest delay δ >= 0 after which the edge's
+// clock guard can be satisfied, or ok=false if no delay works.
+func (in *Interpreter) earliestEnable(ai int, g []Constraint) (Time, bool) {
+	lo := rational.Zero
+	hi := Time{}
+	haveHi := false
+	for _, c := range g {
+		v := in.clocks[ai][c.Clock]
+		switch c.Op {
+		case GE:
+			if v.Less(c.Bound) {
+				lo = lo.Max(c.Bound.Sub(v))
+			}
+		case EQ:
+			d := c.Bound.Sub(v)
+			if d.Sign() < 0 {
+				return Time{}, false
+			}
+			lo = lo.Max(d)
+			if !haveHi || d.Less(hi) {
+				hi = d
+				haveHi = true
+			}
+		case LE:
+			d := c.Bound.Sub(v)
+			if d.Sign() < 0 {
+				return Time{}, false
+			}
+			if !haveHi || d.Less(hi) {
+				hi = d
+				haveHi = true
+			}
+		}
+	}
+	if haveHi && hi.Less(lo) {
+		return Time{}, false
+	}
+	return lo, true
+}
+
+// invariantSlack returns the maximal delay allowed by the invariant of the
+// automaton's current location (ok=false means unbounded).
+func (in *Interpreter) invariantSlack(ai int) (Time, bool) {
+	a := in.net.Automata[ai]
+	invs := a.Invariants[in.loc[ai]]
+	slack := Time{}
+	have := false
+	for _, inv := range invs {
+		d := inv.Bound.Sub(in.clocks[ai][inv.Clock])
+		if d.Sign() < 0 {
+			d = rational.Zero
+		}
+		if !have || d.Less(slack) {
+			slack = d
+			have = true
+		}
+	}
+	return slack, have
+}
+
+// Run executes the network until the given horizon (inclusive for firings
+// at the horizon instant) or until quiescence.
+func (in *Interpreter) Run(horizon Time) error { return in.run(horizon, false) }
+
+// RunExclusive is Run with an exclusive horizon: time never advances to or
+// beyond the horizon instant, so nothing scheduled exactly at the horizon
+// fires. Executing N hyperperiod frames of a generated system uses this to
+// stop before frame N's boundary events.
+func (in *Interpreter) RunExclusive(horizon Time) error { return in.run(horizon, true) }
+
+func (in *Interpreter) run(horizon Time, exclusive bool) error {
+	max := in.MaxFirings
+	if max == 0 {
+		max = 1 << 20
+	}
+	firings := 0
+	for {
+		// Phase 1: exhaust zero-delay firings, automata in index
+		// order, edges in declaration order.
+		progress := true
+		for progress {
+			progress = false
+			for ai := range in.net.Automata {
+				for {
+					e := in.enabledEdge(ai)
+					if e == nil {
+						break
+					}
+					if firings++; firings > max {
+						return fmt.Errorf("ta: more than %d firings without time progress (livelock?)", max)
+					}
+					if err := in.fire(ai, e); err != nil {
+						return err
+					}
+					progress = true
+				}
+			}
+		}
+		// Phase 2: let time pass to the earliest future enabling,
+		// bounded by invariants.
+		delta := Time{}
+		haveDelta := false
+		for ai, a := range in.net.Automata {
+			for k := range a.Edges {
+				e := &a.Edges[k]
+				if e.From != in.loc[ai] {
+					continue
+				}
+				if e.VarGuard != nil && !e.VarGuard(in.vars) {
+					// Variable guards change only through
+					// firings, which cannot happen while
+					// time passes.
+					continue
+				}
+				d, ok := in.earliestEnable(ai, e.ClockGuard)
+				if !ok || d.IsZero() {
+					continue // zero-delay handled in phase 1
+				}
+				if !haveDelta || d.Less(delta) {
+					delta = d
+					haveDelta = true
+				}
+			}
+		}
+		// Invariants cap the delay.
+		for ai := range in.net.Automata {
+			if slack, ok := in.invariantSlack(ai); ok {
+				if !haveDelta || slack.Less(delta) {
+					// An invariant expires before (or at) the
+					// next enabling; advancing to the slack is
+					// mandatory, and some edge must fire there
+					// or the configuration is time-stuck.
+					delta = slack
+					haveDelta = true
+				}
+			}
+		}
+		if !haveDelta {
+			return nil // quiescent
+		}
+		next := in.now.Add(delta)
+		if horizon.Less(next) || (exclusive && horizon.LessEq(next)) {
+			return nil
+		}
+		if delta.IsZero() {
+			// An invariant is tight but no edge is enabled: stuck.
+			return fmt.Errorf("ta: time-stuck at %v (invariant expired with no enabled edge)", in.now)
+		}
+		in.now = next
+		for ai := range in.net.Automata {
+			for c, v := range in.clocks[ai] {
+				in.clocks[ai][c] = v.Add(delta)
+			}
+		}
+	}
+}
+
+// DOT renders the network in Graphviz format, one cluster per automaton.
+func (n *Network) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph ta {\n  rankdir=LR;\n")
+	for i, a := range n.Automata {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, a.Name)
+		locs := map[string]bool{a.Initial: true}
+		for _, e := range a.Edges {
+			locs[e.From] = true
+			locs[e.To] = true
+		}
+		names := make([]string, 0, len(locs))
+		for l := range locs {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		for _, l := range names {
+			shape := "ellipse"
+			if l == a.Initial {
+				shape = "doublecircle"
+			}
+			inv := ""
+			for _, iv := range a.Invariants[l] {
+				inv += fmt.Sprintf("\\n%s <= %v", iv.Clock, iv.Bound)
+			}
+			fmt.Fprintf(&b, "    %q [label=\"%s%s\" shape=%s];\n", a.Name+"."+l, l, inv, shape)
+		}
+		for _, e := range a.Edges {
+			var parts []string
+			for _, g := range e.ClockGuard {
+				parts = append(parts, g.String())
+			}
+			if e.Label != "" {
+				parts = append(parts, e.Label)
+			}
+			fmt.Fprintf(&b, "    %q -> %q [label=%q];\n",
+				a.Name+"."+e.From, a.Name+"."+e.To, strings.Join(parts, " ∧ "))
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package ta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rational"
+)
+
+func ms(n int64) Time { return rational.Milli(n) }
+
+// ticker builds a periodic automaton incrementing a counter every period.
+func ticker(name, counter string, period Time) *Automaton {
+	return &Automaton{
+		Name:    name,
+		Initial: "tick",
+		Clocks:  []string{"x"},
+		Invariants: map[string][]Invariant{
+			"tick": {{Clock: "x", Bound: period}},
+		},
+		Edges: []Edge{{
+			From:       "tick",
+			To:         "tick",
+			ClockGuard: []Constraint{{Clock: "x", Op: EQ, Bound: period}},
+			Resets:     []string{"x"},
+			Update:     func(v Vars) { v[counter]++ },
+			Label:      "tick",
+		}},
+	}
+}
+
+func TestPeriodicTicker(t *testing.T) {
+	net := &Network{Automata: []*Automaton{ticker("t", "n", ms(100))}, Init: Vars{"n": 0}}
+	in, err := NewInterpreter(net, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Vars()["n"]; got != 10 {
+		t.Errorf("ticks = %d, want 10", got)
+	}
+	if len(in.Trace()) != 10 {
+		t.Errorf("%d firings recorded, want 10", len(in.Trace()))
+	}
+	if !in.Now().Equal(ms(1000)) {
+		t.Errorf("now = %v, want 1s", in.Now())
+	}
+}
+
+func TestRunExclusiveStopsBeforeHorizon(t *testing.T) {
+	net := &Network{Automata: []*Automaton{ticker("t", "n", ms(100))}}
+	in, err := NewInterpreter(net, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RunExclusive(ms(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Vars()["n"]; got != 9 {
+		t.Errorf("ticks = %d, want 9 (tick at the horizon excluded)", got)
+	}
+}
+
+func TestTwoRatesInterleave(t *testing.T) {
+	net := &Network{Automata: []*Automaton{
+		ticker("fast", "f", ms(100)),
+		ticker("slow", "s", ms(300)),
+	}}
+	in, err := NewInterpreter(net, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(900)); err != nil {
+		t.Fatal(err)
+	}
+	if in.Vars()["f"] != 9 || in.Vars()["s"] != 3 {
+		t.Errorf("f=%d s=%d, want 9 and 3", in.Vars()["f"], in.Vars()["s"])
+	}
+}
+
+func TestVarGuardChain(t *testing.T) {
+	// b fires only after a has fired twice; both at zero delay once the
+	// guard holds.
+	a := ticker("a", "na", ms(50))
+	b := &Automaton{
+		Name:    "b",
+		Initial: "wait",
+		Clocks:  []string{"y"},
+		Edges: []Edge{{
+			From:     "wait",
+			To:       "fired",
+			VarGuard: func(v Vars) bool { return v["na"] >= 2 },
+			Update:   func(v Vars) { v["t"] = 1 },
+			Label:    "go",
+		}},
+	}
+	net := &Network{Automata: []*Automaton{a, b}}
+	in, err := NewInterpreter(net, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(500)); err != nil {
+		t.Fatal(err)
+	}
+	if in.Location("b") != "fired" || in.Vars()["t"] != 1 {
+		t.Error("var-guarded edge did not fire")
+	}
+}
+
+func TestActionHookAndError(t *testing.T) {
+	var at []Time
+	a := &Automaton{
+		Name:    "a",
+		Initial: "l0",
+		Clocks:  []string{"x"},
+		Invariants: map[string][]Invariant{
+			"l0": {{Clock: "x", Bound: ms(10)}},
+		},
+		Edges: []Edge{{
+			From:       "l0",
+			To:         "l1",
+			ClockGuard: []Constraint{{Clock: "x", Op: EQ, Bound: ms(10)}},
+			Action: func(now Time) error {
+				at = append(at, now)
+				return nil
+			},
+		}},
+	}
+	in, err := NewInterpreter(&Network{Automata: []*Automaton{a}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 1 || !at[0].Equal(ms(10)) {
+		t.Errorf("action times = %v, want [10ms]", at)
+	}
+}
+
+func TestTimeStuckDetected(t *testing.T) {
+	// Invariant x <= 10 but the only edge needs x == 20: time-stuck.
+	a := &Automaton{
+		Name:    "stuck",
+		Initial: "l0",
+		Clocks:  []string{"x"},
+		Invariants: map[string][]Invariant{
+			"l0": {{Clock: "x", Bound: ms(10)}},
+		},
+		Edges: []Edge{{
+			From:       "l0",
+			To:         "l1",
+			ClockGuard: []Constraint{{Clock: "x", Op: EQ, Bound: ms(20)}},
+		}},
+	}
+	in, err := NewInterpreter(&Network{Automata: []*Automaton{a}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.Run(ms(100))
+	if err == nil || !strings.Contains(err.Error(), "time-stuck") {
+		t.Errorf("Run = %v, want time-stuck", err)
+	}
+}
+
+func TestLivelockDetected(t *testing.T) {
+	a := &Automaton{
+		Name:    "spin",
+		Initial: "l0",
+		Edges: []Edge{
+			{From: "l0", To: "l1", Label: "go"},
+			{From: "l1", To: "l0", Label: "back"},
+		},
+	}
+	in, err := NewInterpreter(&Network{Automata: []*Automaton{a}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MaxFirings = 100
+	err = in.Run(ms(100))
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("Run = %v, want livelock", err)
+	}
+}
+
+func TestQuiescence(t *testing.T) {
+	a := &Automaton{
+		Name:    "once",
+		Initial: "l0",
+		Clocks:  []string{"x"},
+		Edges: []Edge{{
+			From:       "l0",
+			To:         "l1",
+			ClockGuard: []Constraint{{Clock: "x", Op: GE, Bound: ms(30)}},
+		}},
+	}
+	in, err := NewInterpreter(&Network{Automata: []*Automaton{a}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if in.Location("once") != "l1" {
+		t.Error("GE edge did not fire")
+	}
+	if !in.Now().Equal(ms(30)) {
+		t.Errorf("quiescent network stopped at %v, want 30ms", in.Now())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Automaton{
+		{Name: "", Initial: "l0"},
+		{Name: "a", Initial: ""},
+		{Name: "a", Initial: "l0", Edges: []Edge{{From: "", To: "x"}}},
+		{Name: "a", Initial: "l0", Edges: []Edge{{From: "l0", To: "l1",
+			ClockGuard: []Constraint{{Clock: "ghost", Op: GE, Bound: ms(1)}}}}},
+		{Name: "a", Initial: "l0", Edges: []Edge{{From: "l0", To: "l1", Resets: []string{"ghost"}}}},
+		{Name: "a", Initial: "l0",
+			Invariants: map[string][]Invariant{"l0": {{Clock: "ghost", Bound: ms(1)}}}},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad automaton %d accepted", i)
+		}
+	}
+	dup := &Network{Automata: []*Automaton{
+		{Name: "a", Initial: "l0"},
+		{Name: "a", Initial: "l0"},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate automaton names accepted")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Clock: "x", Op: GE, Bound: ms(200)}
+	if c.String() != "x >= 1/5" {
+		t.Errorf("Constraint.String = %q", c.String())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	net := &Network{Automata: []*Automaton{ticker("t", "n", ms(100))}}
+	dot := net.DOT()
+	for _, want := range []string{"digraph", "cluster_0", "tick", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestEQGuardInPast(t *testing.T) {
+	// An EQ guard whose time already passed can never fire; the network
+	// becomes quiescent rather than erroring.
+	a := &Automaton{
+		Name:    "late",
+		Initial: "l0",
+		Clocks:  []string{"x", "y"},
+		Edges: []Edge{
+			{From: "l0", To: "l1", ClockGuard: []Constraint{{Clock: "x", Op: GE, Bound: ms(50)}}},
+			{From: "l1", To: "l2", ClockGuard: []Constraint{{Clock: "y", Op: EQ, Bound: ms(20)}}},
+		},
+	}
+	in, err := NewInterpreter(&Network{Automata: []*Automaton{a}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(ms(500)); err != nil {
+		t.Fatal(err)
+	}
+	if in.Location("late") != "l1" {
+		t.Errorf("location = %q, want l1 (EQ in the past unfireable)", in.Location("late"))
+	}
+}

@@ -1,0 +1,149 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rational"
+)
+
+// ASAP returns the as-soon-as-possible start times A'_i:
+//
+//	A'_i = max(A_i, max_{j ∈ Pred(i)} A'_j + C_j)
+//
+// a lower bound on the start time of every feasible schedule.
+func (tg *TaskGraph) ASAP() []Time {
+	asap := make([]Time, len(tg.Jobs))
+	for i, j := range tg.Jobs { // index order is topological
+		t := j.Arrival
+		for _, p := range tg.Pred[i] {
+			if c := asap[p].Add(tg.Jobs[p].WCET); t.Less(c) {
+				t = c
+			}
+		}
+		asap[i] = t
+	}
+	return asap
+}
+
+// ALAP returns the as-late-as-possible completion times D'_i:
+//
+//	D'_i = min(D_i, min_{j ∈ Succ(i)} D'_j − C_j)
+//
+// an upper bound on the completion time of every feasible schedule.
+func (tg *TaskGraph) ALAP() []Time {
+	alap := make([]Time, len(tg.Jobs))
+	for i := len(tg.Jobs) - 1; i >= 0; i-- {
+		t := tg.Jobs[i].Deadline
+		for _, s := range tg.Succ[i] {
+			if c := alap[s].Sub(tg.Jobs[s].WCET); c.Less(t) {
+				t = c
+			}
+		}
+		alap[i] = t
+	}
+	return alap
+}
+
+// Load computes the precedence-aware utilization metric of Section III-B:
+//
+//	Load(TG) = max_{0 <= t1 < t2} ( Σ_{i : t1 <= A'_i ∧ D'_i <= t2} C_i ) / (t2 − t1)
+//
+// where A' and D' are the ASAP and ALAP times. Only window bounds at ASAP
+// and ALAP values can attain the maximum, so those are the candidates
+// examined.
+func (tg *TaskGraph) Load() rational.Rat {
+	if len(tg.Jobs) == 0 {
+		return rational.Zero
+	}
+	asap := tg.ASAP()
+	alap := tg.ALAP()
+	type pair struct{ a, d Time }
+	items := make([]pair, len(tg.Jobs))
+	for i := range tg.Jobs {
+		items[i] = pair{asap[i], alap[i]}
+	}
+	// Candidate t1 values: distinct ASAP times; t2: distinct ALAP times.
+	t1s := distinctTimes(asap)
+	t2s := distinctTimes(alap)
+
+	best := rational.Zero
+	for _, t1 := range t1s {
+		// Jobs with A'_i >= t1, keyed by D'_i: prefix sums over sorted
+		// t2 candidates.
+		sums := make([]rational.Rat, len(t2s))
+		for i, it := range items {
+			if it.a.Less(t1) {
+				continue
+			}
+			// Find the first t2 >= D'_i and add C there.
+			pos := searchTime(t2s, it.d)
+			if pos < len(t2s) {
+				sums[pos] = sums[pos].Add(tg.Jobs[i].WCET)
+			}
+		}
+		acc := rational.Zero
+		for pos, t2 := range t2s {
+			acc = acc.Add(sums[pos])
+			if !t1.Less(t2) || acc.IsZero() {
+				continue
+			}
+			ratio := acc.Div(t2.Sub(t1))
+			if best.Less(ratio) {
+				best = ratio
+			}
+		}
+	}
+	return best
+}
+
+func distinctTimes(ts []Time) []Time {
+	sorted := make([]Time, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	out := sorted[:0]
+	for i, t := range sorted {
+		if i == 0 || !t.Equal(out[len(out)-1]) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// searchTime returns the smallest index with sorted[i] >= t (or len).
+func searchTime(sorted []Time, t Time) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid].Less(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CheckSchedulable verifies the necessary condition of Proposition 3.1 for
+// m processors: every job fits its ASAP/ALAP window (A'_i + C_i <= D'_i)
+// and ⌈Load(TG)⌉ <= m. A nil result does not guarantee feasibility (the
+// condition is necessary, not sufficient).
+func (tg *TaskGraph) CheckSchedulable(m int) error {
+	if m < 1 {
+		return fmt.Errorf("taskgraph: %d processors", m)
+	}
+	asap := tg.ASAP()
+	alap := tg.ALAP()
+	for i, j := range tg.Jobs {
+		if alap[i].Less(asap[i].Add(j.WCET)) {
+			return fmt.Errorf("taskgraph: job %s cannot fit its window: A'=%v + C=%v > D'=%v",
+				j.Name(), asap[i], j.WCET, alap[i])
+		}
+	}
+	load := tg.Load()
+	if need := load.Ceil(); need > int64(m) {
+		return fmt.Errorf("taskgraph: load %.3f needs at least %d processors, have %d",
+			load.Float64(), need, m)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package taskgraph_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps/signal"
+	"repro/internal/taskgraph"
+)
+
+// ExampleDerive reproduces the paper's Fig. 3 derivation for the Fig. 1
+// network: ten jobs over the 200 ms hyperperiod, with the sporadic CoefB
+// process represented by two periodic-server jobs.
+func ExampleDerive() {
+	tg, err := taskgraph.Derive(signal.New())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tg.Summary())
+	for _, j := range tg.Jobs {
+		if j.Server {
+			fmt.Println(j)
+		}
+	}
+	// Output:
+	// task graph: 10 jobs, 9 edges, H=1/5 s, load=1.500
+	// CoefB[1] (0,200,25)
+	// CoefB[2] (0,200,25)
+}

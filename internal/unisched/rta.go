@@ -1,0 +1,84 @@
+package unisched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// ResponseTimes computes the classic worst-case response-time analysis for
+// preemptive fixed-priority uniprocessor scheduling with constrained
+// deadlines (Joseph & Pandya / Audsley):
+//
+//	R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j
+//
+// iterated to the least fixed point. Sporadic processes are treated as
+// periodic at their minimal inter-arrival time with their burst folded into
+// the demand (m_j jobs per period). The result maps every process to its
+// worst-case response time; an error is returned if the iteration diverges
+// past the process deadline (the task is unschedulable) — the returned map
+// then contains the processes analysed so far.
+func ResponseTimes(net *core.Network, pr Priority) (map[string]Time, error) {
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("unisched: %w", err)
+	}
+	procs := net.Processes()
+	for _, p := range procs {
+		if _, ok := pr[p.Name]; !ok {
+			return nil, fmt.Errorf("unisched: no priority for process %q", p.Name)
+		}
+		if p.WCET.Sign() <= 0 {
+			return nil, fmt.Errorf("unisched: process %q needs a positive WCET for RTA", p.Name)
+		}
+	}
+	// Analyse in priority order (highest first).
+	order := make([]*core.Process, len(procs))
+	copy(order, procs)
+	sort.SliceStable(order, func(a, b int) bool { return pr[order[a].Name] < pr[order[b].Name] })
+
+	out := make(map[string]Time, len(procs))
+	for idx, p := range order {
+		// Demand of one "release" of p: the whole burst.
+		own := p.WCET.MulInt(int64(p.Burst()))
+		r := own
+		for iter := 0; ; iter++ {
+			if iter > 10000 {
+				return out, fmt.Errorf("unisched: RTA did not converge for %q", p.Name)
+			}
+			next := own
+			for _, hp := range order[:idx] {
+				n := r.Div(hp.Period()).Ceil()
+				if n < 1 {
+					n = 1
+				}
+				next = next.Add(hp.WCET.MulInt(n * int64(hp.Burst())))
+			}
+			if next.Equal(r) {
+				break
+			}
+			r = next
+			if p.Deadline().Less(r) {
+				out[p.Name] = r
+				return out, fmt.Errorf("unisched: process %q response time %v exceeds deadline %v",
+					p.Name, r, p.Deadline())
+			}
+		}
+		out[p.Name] = r
+	}
+	return out, nil
+}
+
+// UtilizationBound reports the total utilization Σ m_i·C_i/T_i and whether
+// it exceeds 1 (a necessary schedulability condition on one processor).
+func UtilizationBound(net *core.Network) (rational.Rat, error) {
+	if err := net.Validate(); err != nil {
+		return rational.Zero, err
+	}
+	u := rational.Zero
+	for _, p := range net.Processes() {
+		u = u.Add(p.WCET.MulInt(int64(p.Burst())).Div(p.Period()))
+	}
+	return u, nil
+}

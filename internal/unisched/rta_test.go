@@ -1,0 +1,116 @@
+package unisched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+func TestResponseTimesClassic(t *testing.T) {
+	// Liu & Layland style set: T=(100, 200, 400), C=(20, 60, 80), RM.
+	// R1 = 20. R2 = 60 + ⌈R2/100⌉·20 -> 80. R3: 80 + ⌈R/100⌉20 + ⌈R/200⌉60
+	// -> iterate: 160, 80+40+60=180, 80+40+60=180 ✓? ⌈180/100⌉=2 -> 80+40+60
+	// = 180; fixed point 180.
+	n := core.NewNetwork("rta")
+	n.AddPeriodic("t1", ms(100), ms(100), ms(20), nil)
+	n.AddPeriodic("t2", ms(200), ms(200), ms(60), nil)
+	n.AddPeriodic("t3", ms(400), ms(400), ms(80), nil)
+	rt, err := ResponseTimes(n, RateMonotonic(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Time{"t1": ms(20), "t2": ms(80), "t3": ms(180)}
+	for p, w := range want {
+		if !rt[p].Equal(w) {
+			t.Errorf("R(%s) = %v, want %v", p, rt[p], w)
+		}
+	}
+}
+
+func TestResponseTimesMatchSimulation(t *testing.T) {
+	// For synchronous release, the first job of each process experiences
+	// the critical instant: its simulated finish equals the analytical
+	// response time.
+	n := core.NewNetwork("sync")
+	n.AddPeriodic("a", ms(100), ms(100), ms(25), nil)
+	n.AddPeriodic("b", ms(200), ms(200), ms(40), nil)
+	n.AddPeriodic("c", ms(400), ms(400), ms(60), nil)
+	pr := RateMonotonic(n)
+	rta, err := ResponseTimes(n, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(n, ms(400), pr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstFinish := map[string]Time{}
+	for _, j := range sim.Jobs {
+		if j.K == 1 {
+			firstFinish[j.Proc] = j.Finish
+		}
+	}
+	for p, r := range rta {
+		if !firstFinish[p].Equal(r) {
+			t.Errorf("%s: RTA %v vs simulated first finish %v", p, r, firstFinish[p])
+		}
+	}
+}
+
+func TestResponseTimesBurst(t *testing.T) {
+	// A burst-2 process doubles its demand per release.
+	n := core.NewNetwork("burst")
+	n.AddMultiPeriodic("hi", 2, ms(100), ms(100), ms(10), nil)
+	n.AddPeriodic("lo", ms(200), ms(200), ms(30), nil)
+	rt, err := ResponseTimes(n, RateMonotonic(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt["hi"].Equal(ms(20)) {
+		t.Errorf("R(hi) = %v, want 20ms (burst of two 10ms jobs)", rt["hi"])
+	}
+	if !rt["lo"].Equal(ms(50)) {
+		t.Errorf("R(lo) = %v, want 50ms", rt["lo"])
+	}
+}
+
+func TestResponseTimesUnschedulable(t *testing.T) {
+	n := core.NewNetwork("over")
+	n.AddPeriodic("a", ms(100), ms(100), ms(70), nil)
+	n.AddPeriodic("b", ms(100), ms(100), ms(70), nil)
+	rt, err := ResponseTimes(n, RateMonotonic(n))
+	if err == nil || !strings.Contains(err.Error(), "exceeds deadline") {
+		t.Errorf("ResponseTimes = %v, want deadline exceedance", err)
+	}
+	if !rt["a"].Equal(ms(70)) {
+		t.Errorf("partial result missing for the highest-priority task: %v", rt)
+	}
+}
+
+func TestResponseTimesErrors(t *testing.T) {
+	n := core.NewNetwork("bad")
+	n.AddPeriodic("a", ms(100), ms(100), ms(0), nil)
+	if _, err := ResponseTimes(n, RateMonotonic(n)); err == nil {
+		t.Error("zero WCET accepted")
+	}
+	ok := core.NewNetwork("ok")
+	ok.AddPeriodic("a", ms(100), ms(100), ms(10), nil)
+	if _, err := ResponseTimes(ok, Priority{}); err == nil {
+		t.Error("missing priority accepted")
+	}
+}
+
+func TestUtilizationBound(t *testing.T) {
+	n := core.NewNetwork("util")
+	n.AddPeriodic("a", ms(100), ms(100), ms(25), nil)
+	n.AddMultiPeriodic("b", 2, ms(200), ms(200), ms(25), nil)
+	u, err := UtilizationBound(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(rational.New(1, 2)) {
+		t.Errorf("utilization = %v, want 1/2", u)
+	}
+}

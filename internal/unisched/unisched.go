@@ -1,0 +1,311 @@
+// Package unisched implements the baseline that the FPPN model generalizes:
+// classic preemptive fixed-priority scheduling on a single processor, as
+// used industrially both to meet deadlines and to ensure functional
+// determinism (references [1] and [2] of the paper).
+//
+// On a uniprocessor, the relative execution order of communicating tasks is
+// fixed by the release time stamps and the scheduling priorities — with
+// zero (negligible) execution times, a higher-priority task released at the
+// same instant always reads/writes shared state first. FPPN reproduces
+// exactly this order through its functional-priority relation, which is why
+// the paper's avionics case study could verify functional equivalence
+// between the legacy uniprocessor prototype and the multiprocessor FPPN
+// implementation "by testing". This package provides that reference:
+//
+//   - a functional simulator (RunFunctional) executing jobs in the
+//     (release time, priority) order of an idealized fixed-priority
+//     uniprocessor, against the same core.Machine data semantics; and
+//   - a timing simulator (Simulate) of preemptive fixed-priority
+//     scheduling, with response times and deadline misses, for utilization
+//     comparisons against the multiprocessor schedules.
+package unisched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// Priority assigns a fixed scheduling priority to every process; lower
+// rank = higher priority (rank 0 runs first).
+type Priority map[string]int
+
+// RateMonotonic derives the classic rate-monotonic priority assignment from
+// a network: shorter period = higher priority, with ties broken by process
+// insertion order. Sporadic processes use their minimal inter-arrival
+// period.
+func RateMonotonic(net *core.Network) Priority {
+	procs := net.Processes()
+	idx := make([]int, len(procs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return procs[idx[a]].Period().Less(procs[idx[b]].Period())
+	})
+	pr := make(Priority, len(procs))
+	for rank, i := range idx {
+		pr[procs[i].Name] = rank
+	}
+	return pr
+}
+
+// Consistent reports whether the priority assignment agrees with the
+// network's functional-priority DAG: every FP edge hi -> lo must have
+// rank(hi) < rank(lo). When it does, the idealized fixed-priority execution
+// order coincides with the FPPN zero-delay order and the two systems are
+// functionally equivalent.
+func Consistent(net *core.Network, pr Priority) error {
+	for _, e := range net.PriorityEdges() {
+		hi, lo := e[0], e[1]
+		rh, okH := pr[hi]
+		rl, okL := pr[lo]
+		if !okH || !okL {
+			return fmt.Errorf("unisched: priority missing for %q or %q", hi, lo)
+		}
+		if rh >= rl {
+			return fmt.Errorf("unisched: scheduling priority %s(%d) !> %s(%d) contradicts functional priority %s -> %s",
+				hi, rh, lo, rl, hi, lo)
+		}
+	}
+	return nil
+}
+
+// FunctionalResult is the outcome of an idealized (zero-execution-time)
+// fixed-priority uniprocessor run.
+type FunctionalResult struct {
+	// Jobs is the executed job order.
+	Jobs []core.JobRef
+	// Outputs and Channels mirror core.ZeroDelayResult.
+	Outputs  map[string][]core.Sample
+	Channels map[string][]core.Value
+	Trace    core.Trace
+}
+
+// RunFunctional executes the network's processes the way an idealized
+// fixed-priority uniprocessor would: jobs ordered by release time stamp,
+// ties broken by scheduling priority. This is the legacy behaviour that an
+// FPPN port must reproduce.
+func RunFunctional(net *core.Network, horizon Time, pr Priority,
+	sporadicEvents map[string][]Time, inputs map[string][]core.Value,
+	recordTrace bool) (*FunctionalResult, error) {
+
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("unisched: %w", err)
+	}
+	for _, p := range net.Processes() {
+		if _, ok := pr[p.Name]; !ok {
+			return nil, fmt.Errorf("unisched: no priority for process %q", p.Name)
+		}
+	}
+	invs, err := core.GenerateInvocations(net, horizon, sporadicEvents)
+	if err != nil {
+		return nil, fmt.Errorf("unisched: %w", err)
+	}
+	rank := make(map[string]int, len(pr))
+	for p, r := range pr {
+		rank[p] = r
+	}
+	jobs := core.JobSequence(net, invs, rank)
+	m, err := core.NewMachine(net, core.MachineOptions{Inputs: inputs, RecordTrace: recordTrace})
+	if err != nil {
+		return nil, err
+	}
+	var last Time
+	first := true
+	for _, j := range jobs {
+		if first || !j.Time.Equal(last) {
+			m.Wait(j.Time)
+			last = j.Time
+			first = false
+		}
+		if err := m.ExecJob(j.Proc, j.Time); err != nil {
+			return nil, err
+		}
+	}
+	return &FunctionalResult{
+		Jobs:     jobs,
+		Outputs:  m.Outputs(),
+		Channels: m.ChannelSnapshot(),
+		Trace:    m.Trace(),
+	}, nil
+}
+
+// JobTiming is the timing record of one job in a preemptive fixed-priority
+// simulation.
+type JobTiming struct {
+	Proc     string
+	K        int64
+	Release  Time
+	Start    Time // first instant the job executes
+	Finish   Time
+	Deadline Time
+	Missed   bool
+	// Preemptions counts how many times the job was suspended by
+	// higher-priority releases.
+	Preemptions int
+}
+
+// SimResult is the outcome of a preemptive fixed-priority timing
+// simulation.
+type SimResult struct {
+	Jobs   []JobTiming
+	Misses int
+	// Utilization is total executed time / horizon.
+	Utilization rational.Rat
+	// MaxLateness is the largest finish − deadline over all jobs (may be
+	// negative when all deadlines are met).
+	MaxLateness Time
+}
+
+// Simulate runs preemptive fixed-priority scheduling of the network's
+// periodic and sporadic jobs on one processor over [0, horizon), executing
+// every job for exactly its process WCET.
+func Simulate(net *core.Network, horizon Time, pr Priority,
+	sporadicEvents map[string][]Time) (*SimResult, error) {
+
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("unisched: %w", err)
+	}
+	invs, err := core.GenerateInvocations(net, horizon, sporadicEvents)
+	if err != nil {
+		return nil, fmt.Errorf("unisched: %w", err)
+	}
+
+	type job struct {
+		proc      string
+		k         int64
+		release   Time
+		remaining Time
+		started   bool
+		start     Time
+		deadline  Time
+		preempt   int
+		rank      int
+		seq       int
+	}
+	var pending []*job
+	counts := make(map[string]int64)
+	seq := 0
+	for _, inv := range invs {
+		for _, pn := range inv.Procs {
+			p := net.Process(pn)
+			counts[pn]++
+			r, ok := pr[pn]
+			if !ok {
+				return nil, fmt.Errorf("unisched: no priority for process %q", pn)
+			}
+			pending = append(pending, &job{
+				proc:      pn,
+				k:         counts[pn],
+				release:   inv.Time,
+				remaining: p.WCET,
+				deadline:  inv.Time.Add(p.Deadline()),
+				rank:      r,
+				seq:       seq,
+			})
+			seq++
+		}
+	}
+	// Event-driven simulation: at each instant run the highest-priority
+	// released job until it finishes or a higher-priority release occurs.
+	releases := make([]Time, 0, len(pending))
+	for _, j := range pending {
+		releases = append(releases, j.release)
+	}
+	sort.Slice(releases, func(a, b int) bool { return releases[a].Less(releases[b]) })
+
+	var done []JobTiming
+	totalExec := rational.Zero
+	now := rational.Zero
+	var running *job
+	for {
+		// Pick the highest-priority released unfinished job.
+		var best *job
+		for _, j := range pending {
+			if j.remaining.Sign() <= 0 || now.Less(j.release) {
+				continue
+			}
+			if best == nil || j.rank < best.rank || (j.rank == best.rank && j.seq < best.seq) {
+				best = j
+			}
+		}
+		if best == nil {
+			// Idle: jump to the next release, or stop.
+			next := Time{}
+			have := false
+			for _, r := range releases {
+				if now.Less(r) {
+					next = r
+					have = true
+					break
+				}
+			}
+			if !have {
+				break
+			}
+			now = next
+			running = nil
+			continue
+		}
+		if running != nil && running != best && running.remaining.Sign() > 0 {
+			running.preempt++
+		}
+		if !best.started {
+			best.started = true
+			best.start = now
+		}
+		running = best
+		// Run until completion or the next release, whichever first.
+		finish := now.Add(best.remaining)
+		nextRelease := Time{}
+		haveRel := false
+		for _, r := range releases {
+			if now.Less(r) && r.Less(finish) {
+				nextRelease = r
+				haveRel = true
+				break
+			}
+		}
+		if haveRel {
+			ran := nextRelease.Sub(now)
+			best.remaining = best.remaining.Sub(ran)
+			totalExec = totalExec.Add(ran)
+			now = nextRelease
+			continue
+		}
+		totalExec = totalExec.Add(best.remaining)
+		best.remaining = rational.Zero
+		now = finish
+		done = append(done, JobTiming{
+			Proc: best.proc, K: best.k, Release: best.release,
+			Start: best.start, Finish: finish, Deadline: best.deadline,
+			Missed: best.deadline.Less(finish), Preemptions: best.preempt,
+		})
+	}
+	res := &SimResult{Jobs: done}
+	res.MaxLateness = rational.FromInt(-1 << 30)
+	for _, j := range done {
+		if j.Missed {
+			res.Misses++
+		}
+		if late := j.Finish.Sub(j.Deadline); res.MaxLateness.Less(late) {
+			res.MaxLateness = late
+		}
+	}
+	if horizon.Sign() > 0 {
+		res.Utilization = totalExec.Div(horizon)
+	}
+	// Any job that never completed within the simulation is a miss too.
+	for _, j := range pending {
+		if j.remaining.Sign() > 0 {
+			res.Misses++
+		}
+	}
+	return res, nil
+}
