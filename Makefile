@@ -1,0 +1,36 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test vet race fuzz bench experiments golden-update
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The compile pipeline and portfolio scheduler fan out goroutines; every
+# test (including the differential determinism harness) must be race-clean.
+race:
+	$(GO) test -race ./...
+
+# Native fuzz targets; raise FUZZTIME (and FPPN_FUZZ_TRIALS for the
+# randomized integration trials) to crank coverage.
+fuzz:
+	$(GO) test ./internal/rational -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -fuzz FuzzNetworkValidate -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Rewrite the golden task-graph files after an intended derivation change.
+golden-update:
+	$(GO) test ./internal/export -run Golden -update

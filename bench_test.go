@@ -420,3 +420,47 @@ func BenchmarkResponseTimeAnalysis(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkFMSDerivationWorkers measures the parallel compile pipeline on
+// the largest derivation in the repository (FMS, 812 jobs) at a fixed
+// fan-out. workers=1 is the sequential reference; the parallel settings
+// must win on multicore hosts while producing an identical graph.
+func benchmarkFMSDerivationWorkers(b *testing.B, workers int) {
+	net := fms.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tg.Jobs) != 812 {
+			b.Fatalf("%d jobs", len(tg.Jobs))
+		}
+	}
+}
+
+func BenchmarkFMSDerivationSequential(b *testing.B) { benchmarkFMSDerivationWorkers(b, 1) }
+func BenchmarkFMSDerivationWorkers4(b *testing.B)   { benchmarkFMSDerivationWorkers(b, 4) }
+func BenchmarkFMSDerivationDefault(b *testing.B)    { benchmarkFMSDerivationWorkers(b, 0) }
+
+// benchmarkPortfolioWorkers races all four SP heuristics on the FMS task
+// graph; the sequential and parallel runs return byte-identical winners.
+func benchmarkPortfolioWorkers(b *testing.B, workers int) {
+	tg, err := taskgraph.Derive(fms.New())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.Portfolio(tg, 2, sched.PortfolioOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPortfolioSequential(b *testing.B) { benchmarkPortfolioWorkers(b, 1) }
+func BenchmarkPortfolioWorkers4(b *testing.B)   { benchmarkPortfolioWorkers(b, 4) }

@@ -42,6 +42,10 @@ func buildApp(name string) (*core.Network, error) {
 	}
 }
 
+// portfolioName selects the concurrent portfolio race over all heuristics
+// instead of a single SP order.
+const portfolioName = "portfolio"
+
 func parseHeuristic(name string) (sched.Heuristic, error) {
 	for _, h := range sched.Heuristics {
 		if h.String() == name {
@@ -54,7 +58,8 @@ func parseHeuristic(name string) (sched.Heuristic, error) {
 func main() {
 	app := flag.String("app", "signal", "application: signal, fft, fft-overhead, fms, fms-original")
 	m := flag.Int("m", 2, "number of processors")
-	heuristic := flag.String("heuristic", "alap-edf", "schedule priority: alap-edf, b-level, deadline-monotonic, edf")
+	heuristic := flag.String("heuristic", "alap-edf", "schedule priority: alap-edf, b-level, deadline-monotonic, edf, portfolio (race all, keep best makespan)")
+	workers := flag.Int("workers", 0, "compile-pipeline fan-out: 0 = GOMAXPROCS, 1 = sequential")
 	dot := flag.String("dot", "", "emit Graphviz for: taskgraph, network")
 	gantt := flag.Bool("gantt", true, "print the ASCII Gantt chart")
 	table := flag.Bool("table", false, "print the schedule table")
@@ -64,20 +69,22 @@ func main() {
 	jsonOut := flag.String("json", "", "emit JSON for: network, taskgraph, schedule")
 	flag.Parse()
 
-	if err := run(*app, *m, *heuristic, *dot, *jsonOut, *gantt, *table, *buffers, *compare, *width); err != nil {
+	if err := run(*app, *m, *workers, *heuristic, *dot, *jsonOut, *gantt, *table, *buffers, *compare, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "fppnc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, m int, heuristic, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
+func run(app string, m, workers int, heuristic, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
 	net, err := buildApp(app)
 	if err != nil {
 		return err
 	}
-	h, err := parseHeuristic(heuristic)
-	if err != nil {
-		return err
+	var h sched.Heuristic
+	if heuristic != portfolioName {
+		if h, err = parseHeuristic(heuristic); err != nil {
+			return err
+		}
 	}
 	if dot == "network" {
 		fmt.Println(export.NetworkDOT(net))
@@ -97,7 +104,7 @@ func run(app string, m int, heuristic, dot, jsonOut string, gantt, table, buffer
 		fmt.Printf("  %v (C=%vs)\n", p, p.WCET)
 	}
 
-	tg, err := taskgraph.Derive(net)
+	tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -136,22 +143,31 @@ func run(app string, m int, heuristic, dot, jsonOut string, gantt, table, buffer
 		}
 	}
 	if compare {
-		stats, err := analysis.CompareHeuristics(tg, m)
+		stats, err := analysis.CompareHeuristicsWorkers(tg, m, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(analysis.Table(stats))
 	}
 
-	s, err := sched.ListSchedule(tg, m, h)
-	if err != nil {
-		return err
+	var s *sched.Schedule
+	if heuristic == portfolioName {
+		s, err = sched.Portfolio(tg, m, sched.PortfolioOptions{Workers: workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("portfolio winner: %v\n", s.Heuristic)
+	} else {
+		s, err = sched.ListSchedule(tg, m, h)
+		if err != nil {
+			return err
+		}
 	}
 	if err := s.Validate(); err != nil {
-		fmt.Printf("schedule (%v) INFEASIBLE: %v\n", h, err)
+		fmt.Printf("schedule (%v) INFEASIBLE: %v\n", s.Heuristic, err)
 		fmt.Printf("  %d deadline misses in the static schedule\n", len(s.Misses()))
 	} else {
-		fmt.Printf("feasible schedule (%v) on %d processors, makespan %vs\n", h, m, s.Makespan())
+		fmt.Printf("feasible schedule (%v) on %d processors, makespan %vs\n", s.Heuristic, m, s.Makespan())
 	}
 	if jsonOut == "schedule" {
 		text, err := export.MarshalIndent(export.Schedule(s))

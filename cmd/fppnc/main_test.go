@@ -42,14 +42,27 @@ func TestRunSmoke(t *testing.T) {
 		{"fft", 1, "", "", true, false, false, false}, // infeasible branch
 	}
 	for _, c := range cases {
-		if err := run(c.app, c.m, "alap-edf", c.dot, c.json, c.gantt, c.tbl, c.buffers, c.compar, 60); err != nil {
+		if err := run(c.app, c.m, 0, "alap-edf", c.dot, c.json, c.gantt, c.tbl, c.buffers, c.compar, 60); err != nil {
 			t.Errorf("run(%+v): %v", c, err)
 		}
 	}
-	if err := run("ghost", 1, "alap-edf", "", "", false, false, false, false, 60); err == nil {
+	if err := run("ghost", 1, 0, "alap-edf", "", "", false, false, false, false, 60); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run("signal", 1, "magic", "", "", false, false, false, false, 60); err == nil {
+	if err := run("signal", 1, 0, "magic", "", "", false, false, false, false, 60); err == nil {
 		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestRunPortfolioMode(t *testing.T) {
+	// The portfolio mode must succeed with both a sequential and a
+	// defaulted worker count and print the same winning schedule.
+	for _, workers := range []int{1, 0, 4} {
+		if err := run("signal", 2, workers, "portfolio", "", "", false, false, false, false, 60); err != nil {
+			t.Errorf("portfolio workers=%d: %v", workers, err)
+		}
+	}
+	if err := run("signal", 1, 0, "portfolio", "", "", false, false, false, false, 60); err == nil {
+		t.Error("portfolio on an infeasible processor count must fail")
 	}
 }

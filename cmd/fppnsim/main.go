@@ -87,15 +87,16 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "use the goroutine-per-processor runner")
 	zerocheck := flag.Bool("zerocheck", true, "verify outputs against the zero-delay semantics")
 	width := flag.Int("width", 100, "Gantt chart width")
+	workers := flag.Int("workers", 0, "compile-pipeline fan-out: 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
-	if err := run(*app, *m, *frames, *overhead, *events, *concurrent, *zerocheck, *width); err != nil {
+	if err := run(*app, *m, *frames, *workers, *overhead, *events, *concurrent, *zerocheck, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "fppnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, m, frames int, overheadName, eventSpec string, concurrent, zerocheck bool, width int) error {
+func run(app string, m, frames, workers int, overheadName, eventSpec string, concurrent, zerocheck bool, width int) error {
 	spec, ok := apps[app]
 	if !ok {
 		return fmt.Errorf("unknown application %q (want signal, fft, fms)", app)
@@ -114,7 +115,7 @@ func run(app string, m, frames int, overheadName, eventSpec string, concurrent, 
 	}
 
 	net := spec.build()
-	tg, err := taskgraph.Derive(net)
+	tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -33,23 +33,23 @@ func TestParseEvents(t *testing.T) {
 func TestRunSmoke(t *testing.T) {
 	// End-to-end smoke of the simulator command path for each app.
 	for _, app := range []string{"signal", "fft"} {
-		if err := run(app, 2, 2, "none", "", false, true, 80); err != nil {
+		if err := run(app, 2, 2, 0, "none", "", false, true, 80); err != nil {
 			t.Errorf("%s: %v", app, err)
 		}
 	}
-	if err := run("fft", 1, 3, "mppa", "", false, false, 80); err != nil {
+	if err := run("fft", 1, 3, 1, "mppa", "", false, false, 80); err != nil {
 		t.Errorf("fft overloaded: %v", err)
 	}
-	if err := run("signal", 2, 7, "none", "CoefB@0.05", true, true, 80); err != nil {
+	if err := run("signal", 2, 7, 4, "none", "CoefB@0.05", true, true, 80); err != nil {
 		t.Errorf("concurrent signal: %v", err)
 	}
-	if err := run("ghost", 1, 1, "none", "", false, false, 80); err == nil {
+	if err := run("ghost", 1, 1, 0, "none", "", false, false, 80); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run("signal", 1, 1, "warp", "", false, false, 80); err == nil {
+	if err := run("signal", 1, 1, 0, "warp", "", false, false, 80); err == nil {
 		t.Error("unknown overhead accepted")
 	}
-	if err := run("signal", 1, 1, "none", "bad", false, false, 80); err == nil {
+	if err := run("signal", 1, 1, 0, "none", "bad", false, false, 80); err == nil {
 		t.Error("bad event spec accepted")
 	}
 }

@@ -129,6 +129,10 @@ type (
 	Heuristic = sched.Heuristic
 	// GanttEntry is one executed interval on a processor.
 	GanttEntry = sched.GanttEntry
+	// PortfolioOptions configures the concurrent heuristic portfolio.
+	PortfolioOptions = sched.PortfolioOptions
+	// HeuristicResult is one lane of a portfolio race.
+	HeuristicResult = sched.HeuristicResult
 )
 
 // Schedule-priority heuristics.
@@ -152,6 +156,19 @@ func ListSchedule(tg *TaskGraph, m int, h Heuristic) (*Schedule, error) {
 // FindFeasible tries every heuristic and returns the first feasible
 // schedule on m processors.
 func FindFeasible(tg *TaskGraph, m int) (*Schedule, error) { return sched.FindFeasible(tg, m) }
+
+// SchedulePortfolio races all heuristics concurrently and returns the best
+// feasible schedule under the documented total order (minimal makespan,
+// heuristic-order tie-break). The result is independent of Workers.
+func SchedulePortfolio(tg *TaskGraph, m int, opts PortfolioOptions) (*Schedule, error) {
+	return sched.Portfolio(tg, m, opts)
+}
+
+// RunPortfolio races all heuristics concurrently and returns every lane's
+// outcome in heuristic order, feasible or not.
+func RunPortfolio(tg *TaskGraph, m int, opts PortfolioOptions) []HeuristicResult {
+	return sched.RunPortfolio(tg, m, opts)
+}
 
 // MinProcessors finds the smallest processor count (up to max) admitting a
 // feasible schedule.

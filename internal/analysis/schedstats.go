@@ -64,15 +64,22 @@ func (st SchedStats) String() string {
 // CompareHeuristics schedules the task graph with every heuristic on m
 // processors and returns the per-heuristic statistics — the ablation table
 // behind Section III-B's remark that "different heuristics exist for
-// optimizing priority order SP".
+// optimizing priority order SP". The heuristics run as a concurrent
+// portfolio race; statistics come back in preference order regardless of
+// worker interleaving.
 func CompareHeuristics(tg *taskgraph.TaskGraph, m int) ([]SchedStats, error) {
+	return CompareHeuristicsWorkers(tg, m, 0)
+}
+
+// CompareHeuristicsWorkers is CompareHeuristics with an explicit
+// concurrency knob (0 = GOMAXPROCS, 1 = sequential).
+func CompareHeuristicsWorkers(tg *taskgraph.TaskGraph, m, workers int) ([]SchedStats, error) {
 	var out []SchedStats
-	for _, h := range sched.Heuristics {
-		s, err := sched.ListSchedule(tg, m, h)
-		if err != nil {
-			return nil, err
+	for _, r := range sched.RunPortfolio(tg, m, sched.PortfolioOptions{Workers: workers}) {
+		if r.Schedule == nil {
+			return nil, r.Err
 		}
-		out = append(out, Stats(s))
+		out = append(out, Stats(r.Schedule))
 	}
 	return out, nil
 }

@@ -18,6 +18,7 @@ func approxEqual(a, b complex128) bool {
 }
 
 func TestNetworkValidates(t *testing.T) {
+	t.Parallel()
 	n := New()
 	if err := n.ValidateSchedulable(); err != nil {
 		t.Fatal(err)
@@ -31,6 +32,7 @@ func TestNetworkValidates(t *testing.T) {
 }
 
 func TestFFTComputesDFT(t *testing.T) {
+	t.Parallel()
 	frames := []Frame{
 		{1, 0, 0, 0},
 		{1, 1, 1, 1},
@@ -60,6 +62,7 @@ func TestFFTComputesDFT(t *testing.T) {
 }
 
 func TestFFTRandomFramesProperty(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	var frames []Frame
 	for i := 0; i < 16; i++ {
@@ -98,6 +101,7 @@ func TestFFTRandomFramesProperty(t *testing.T) {
 // one-to-one to the process-network graph: 14 jobs, one per process, and
 // one precedence edge per channel pair (24).
 func TestFig5TaskGraphOneToOne(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +126,7 @@ func TestFig5TaskGraphOneToOne(t *testing.T) {
 // plain graph and ≈1.14 once the 41 ms frame-arrival overhead is modelled
 // as an extra job (the paper reports ≈1.2 with C ≈ 14 ms).
 func TestFig6LoadNumbers(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +156,7 @@ func TestFig6LoadNumbers(t *testing.T) {
 // MPPA runtime overhead, a single-processor mapping misses deadlines on
 // every frame while a two-processor mapping meets all of them.
 func TestFig6SingleVsDualProcessor(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +210,7 @@ func TestFig6SingleVsDualProcessor(t *testing.T) {
 }
 
 func TestGeneratorRejectsBadInput(t *testing.T) {
+	t.Parallel()
 	res, err := core.RunZeroDelay(New(), Period, core.ZeroDelayOptions{
 		Inputs: map[string][]core.Value{ExtIn: {"not a frame"}},
 	})
@@ -213,6 +220,7 @@ func TestGeneratorRejectsBadInput(t *testing.T) {
 }
 
 func TestMissingInputActsAsZeroFrame(t *testing.T) {
+	t.Parallel()
 	res, err := core.RunZeroDelay(New(), Period, core.ZeroDelayOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +238,7 @@ func TestMissingInputActsAsZeroFrame(t *testing.T) {
 }
 
 func TestNewSizeGeneralizedFFT(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(9))
 	for _, size := range []int{2, 8, 16} {
 		net := NewSize(size, DefaultWCET)
@@ -282,6 +291,7 @@ func TestNewSizeGeneralizedFFT(t *testing.T) {
 }
 
 func TestNewSizeRejectsBadSizes(t *testing.T) {
+	t.Parallel()
 	for _, bad := range []int{0, 1, 3, 6, 12} {
 		func() {
 			defer func() {
@@ -295,6 +305,7 @@ func TestNewSizeRejectsBadSizes(t *testing.T) {
 }
 
 func TestNewSizeSchedulesAndRuns(t *testing.T) {
+	t.Parallel()
 	// An 8-point FFT end to end through the whole flow.
 	net := NewSize(8, rational.Milli(5))
 	tg, err := taskgraph.Derive(net)
@@ -327,6 +338,7 @@ func TestNewSizeSchedulesAndRuns(t *testing.T) {
 }
 
 func TestFrameOnBigNetworkRejected(t *testing.T) {
+	t.Parallel()
 	net := NewSize(8, DefaultWCET)
 	_, err := core.RunZeroDelay(net, Period, core.ZeroDelayOptions{
 		Inputs: map[string][]core.Value{ExtIn: {Frame{1, 2, 3, 4}}},

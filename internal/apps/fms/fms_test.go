@@ -12,6 +12,7 @@ import (
 )
 
 func TestNetworkValidates(t *testing.T) {
+	t.Parallel()
 	for name, cfg := range map[string]Config{"reduced": Reduced(), "original": Original()} {
 		n := NewConfig(cfg)
 		if err := n.ValidateSchedulable(); err != nil {
@@ -27,6 +28,7 @@ func TestNetworkValidates(t *testing.T) {
 // with the original MagnDeclin period of 1600 ms, reduced to 10 s at
 // 400 ms.
 func TestHyperperiods(t *testing.T) {
+	t.Parallel()
 	hOrig, err := core.Hyperperiod(NewConfig(Original()), map[string]core.Time{
 		AnemoConfig: rational.Milli(200), GPSConfig: rational.Milli(200),
 		IRSConfig: rational.Milli(200), DopplerConfig: rational.Milli(200),
@@ -52,6 +54,7 @@ func TestHyperperiods(t *testing.T) {
 // reduced FMS: "The derived task graph contained 812 jobs and 1977 edges.
 // The load of this task graph was low ≈ 0.23."
 func TestFig7TaskGraphSize(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +79,7 @@ func TestFig7TaskGraphSize(t *testing.T) {
 // TestJobCountBreakdown checks the per-process job counts in one 10 s
 // frame that sum to 812.
 func TestJobCountBreakdown(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +109,7 @@ func TestJobCountBreakdown(t *testing.T) {
 // TestUniprocessorNoMisses: "consistently, a single-processor mapping
 // encountered no deadline misses" at load ≈ 0.23.
 func TestUniprocessorNoMisses(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +140,7 @@ func TestUniprocessorNoMisses(t *testing.T) {
 // feasible and produce identical outputs (the paper generated schedules for
 // different numbers of processors to reach its overhead conclusions).
 func TestMultiprocessorSchedules(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +176,7 @@ func TestMultiprocessorSchedules(t *testing.T) {
 // functional priorities, so the legacy uniprocessor fixed-priority
 // prototype and the FPPN implementation are functionally equivalent.
 func TestFunctionalEquivalenceWithUniprocessorPrototype(t *testing.T) {
+	t.Parallel()
 	net := New()
 	pr := unisched.RateMonotonic(net)
 	if err := unisched.Consistent(net, pr); err != nil {
@@ -206,6 +213,7 @@ func TestFunctionalEquivalenceWithUniprocessorPrototype(t *testing.T) {
 // TestConfigCommandsTakeEffect: sporadic configuration events change the
 // outputs, so the equivalence and determinism tests are not vacuous.
 func TestConfigCommandsTakeEffect(t *testing.T) {
+	t.Parallel()
 	horizon := rational.FromInt(10)
 	inputs := Inputs(50)
 	base, err := core.RunZeroDelay(New(), horizon, core.ZeroDelayOptions{Inputs: inputs})
@@ -230,6 +238,7 @@ func TestConfigCommandsTakeEffect(t *testing.T) {
 // once per four invocations, so its published declination sequence over
 // 1600 ms matches the original process's.
 func TestMagnDeclinBodyEvery(t *testing.T) {
+	t.Parallel()
 	horizon := rational.FromInt(40) // one original hyperperiod
 	reduced, err := core.RunZeroDelay(NewConfig(Reduced()), horizon, core.ZeroDelayOptions{
 		Inputs: Inputs(200),
@@ -255,6 +264,7 @@ func TestMagnDeclinBodyEvery(t *testing.T) {
 // proportionally more jobs, demonstrating the code-generation overhead the
 // paper reduced the hyperperiod to avoid.
 func TestOriginalTaskGraph(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(NewConfig(Original()))
 	if err != nil {
 		t.Fatal(err)
@@ -276,6 +286,7 @@ func TestOriginalTaskGraph(t *testing.T) {
 }
 
 func TestDeterminismAcrossSeeds(t *testing.T) {
+	t.Parallel()
 	horizon := rational.FromInt(10)
 	events := map[string][]core.Time{
 		IRSConfig:        {rational.Milli(900), rational.Milli(901)},

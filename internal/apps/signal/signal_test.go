@@ -11,6 +11,7 @@ import (
 )
 
 func TestValidates(t *testing.T) {
+	t.Parallel()
 	n := New()
 	if err := n.ValidateSchedulable(); err != nil {
 		t.Fatal(err)
@@ -24,6 +25,7 @@ func TestValidates(t *testing.T) {
 }
 
 func TestDataPath(t *testing.T) {
+	t.Parallel()
 	res, err := core.RunZeroDelay(New(), ms(400), core.ZeroDelayOptions{
 		Inputs: Inputs(2),
 		Seed:   -1,
@@ -46,6 +48,7 @@ func TestDataPath(t *testing.T) {
 }
 
 func TestCoefficientReconfiguration(t *testing.T) {
+	t.Parallel()
 	base, err := core.RunZeroDelay(New(), ms(1400), core.ZeroDelayOptions{Inputs: Inputs(7)})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +72,7 @@ func TestCoefficientReconfiguration(t *testing.T) {
 }
 
 func TestEndToEndCompileAndRun(t *testing.T) {
+	t.Parallel()
 	tg, err := taskgraph.Derive(New())
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +105,7 @@ func TestEndToEndCompileAndRun(t *testing.T) {
 }
 
 func TestNewWCETParameter(t *testing.T) {
+	t.Parallel()
 	n := NewWCET(rational.Milli(10))
 	for _, p := range n.Processes() {
 		if !p.WCET.Equal(rational.Milli(10)) {

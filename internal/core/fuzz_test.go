@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rational"
+)
+
+// fuzzReader doles out fuzz bytes one at a time, returning zero once the
+// input is exhausted so every byte string decodes to some network.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) pick(n int) int { return int(r.byte()) % n }
+
+// fuzzTimes are the candidate periods/deadlines/WCETs, in milliseconds.
+// They are kept small and include zero and a negative value so generator
+// and WCET validation error paths are exercised, while the pairwise LCMs
+// stay far from int64 overflow (the designed panic in rational arithmetic).
+var fuzzTimes = []int64{-1, 0, 1, 2, 4, 5, 8, 10, 20, 25, 40, 50, 100, 125, 250, 1000}
+
+// buildFuzzNetwork decodes an arbitrary byte string into a small (possibly
+// ill-formed) network: up to 6 processes, 8 channels, 6 priority edges and
+// a few external bindings, with duplicate names, self-loops, dangling
+// references and FP cycles all reachable.
+func buildFuzzNetwork(data []byte) *Network {
+	r := &fuzzReader{data: data}
+	net := NewNetwork("fuzz")
+	body := BehaviorFunc(func(ctx *JobContext) error { return nil })
+
+	nProcs := 1 + r.pick(6)
+	names := make([]string, 0, nProcs)
+	for i := 0; i < nProcs; i++ {
+		// Collide names with probability 1/4 to hit the duplicate check.
+		name := fmt.Sprintf("p%d", i)
+		if r.pick(4) == 0 && i > 0 {
+			name = names[r.pick(len(names))]
+		}
+		period := rational.Milli(fuzzTimes[r.pick(len(fuzzTimes))])
+		deadline := rational.Milli(fuzzTimes[r.pick(len(fuzzTimes))])
+		wcet := rational.Milli(fuzzTimes[r.pick(len(fuzzTimes))])
+		burst := r.pick(3) // 0 is invalid
+		if r.pick(2) == 0 {
+			net.AddMultiPeriodic(name, burst, period, deadline, wcet, body)
+		} else {
+			net.AddSporadic(name, burst, period, deadline, wcet, body)
+		}
+		names = append(names, name)
+	}
+
+	nChans := r.pick(9)
+	for i := 0; i < nChans; i++ {
+		// Channel names collide 1/4 of the time; endpoints may be equal
+		// (self-loop) or dangling.
+		ch := fmt.Sprintf("c%d", i)
+		if r.pick(4) == 0 && i > 0 {
+			ch = fmt.Sprintf("c%d", r.pick(i))
+		}
+		writer := names[r.pick(len(names))]
+		reader := names[r.pick(len(names))]
+		if r.pick(8) == 0 {
+			reader = "ghost"
+		}
+		kind := FIFO
+		if r.pick(2) == 0 {
+			kind = Blackboard
+		}
+		net.Connect(writer, reader, ch, kind)
+	}
+
+	nPrio := r.pick(7)
+	for i := 0; i < nPrio; i++ {
+		net.Priority(names[r.pick(len(names))], names[r.pick(len(names))])
+	}
+
+	for i, n := 0, r.pick(3); i < n; i++ {
+		net.Input(names[r.pick(len(names))], fmt.Sprintf("in%d", r.pick(2)))
+	}
+	for i, n := 0, r.pick(3); i < n; i++ {
+		net.Output(names[r.pick(len(names))], fmt.Sprintf("out%d", r.pick(2)))
+	}
+	return net
+}
+
+// FuzzNetworkValidate checks that network construction and validation never
+// panic on arbitrary mutated inputs: ill-formed networks must be reported
+// through Validate/ValidateSchedulable/TopoOrder errors only.
+//
+// Run with: go test ./internal/core -fuzz FuzzNetworkValidate
+func FuzzNetworkValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 5, 5, 3, 1})
+	f.Add([]byte{5, 0, 9, 9, 2, 1, 1, 9, 9, 2, 1, 4, 0, 1, 1, 0, 2, 1, 0})
+	f.Add([]byte{3, 1, 3, 3, 1, 2, 0, 3, 3, 1, 2, 2, 0, 1, 0, 1, 1, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // longer inputs add no new structure
+		}
+		net := buildFuzzNetwork(data)
+		// All three entry points must return (an error or nil), not panic.
+		_ = net.Validate()
+		_ = net.ValidateSchedulable()
+		if order, err := net.TopoOrder(); err == nil {
+			if len(order) != len(net.Processes()) {
+				t.Fatalf("TopoOrder returned %d of %d processes without error",
+					len(order), len(net.Processes()))
+			}
+		}
+	})
+}

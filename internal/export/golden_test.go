@@ -1,0 +1,91 @@
+package export
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/taskgraph"
+)
+
+// Golden-trace regression tests: the derived task graphs of the paper's
+// applications are pinned under testdata/ as canonical JSON so refactors of
+// the derivation or export layers cannot silently drift. Regenerate with
+//
+//	go test ./internal/export -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Errorf("%s drifted from golden; run with -update after verifying the change is intended", name)
+	}
+}
+
+// TestGoldenSignalTaskGraph pins the full Fig. 3 task graph of the signal
+// application — 10 jobs with their exact (A, D, C) tuples and precedence
+// edges.
+func TestGoldenSignalTaskGraph(t *testing.T) {
+	tg, err := taskgraph.Derive(signal.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Jobs) != 10 {
+		t.Fatalf("signal task graph has %d jobs, paper Fig. 3 shows 10", len(tg.Jobs))
+	}
+	text, err := MarshalIndent(TaskGraph(tg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "signal_taskgraph.json", text)
+}
+
+// TestGoldenFMSTaskGraph pins the FMS case study as a summary — job count
+// (812 per Table 1), edge count and a digest of the full canonical JSON —
+// so the large graph stays drift-checked without a megabyte of testdata.
+func TestGoldenFMSTaskGraph(t *testing.T) {
+	tg, err := taskgraph.Derive(fms.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Jobs) != 812 {
+		t.Fatalf("FMS task graph has %d jobs, paper reports 812", len(tg.Jobs))
+	}
+	full, err := MarshalIndent(TaskGraph(tg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for _, succ := range tg.Succ {
+		edges += len(succ)
+	}
+	digest := sha256.Sum256([]byte(full))
+	summary, err := json.MarshalIndent(map[string]any{
+		"jobs":        len(tg.Jobs),
+		"edges":       edges,
+		"hyperperiod": tg.Hyperperiod.String(),
+		"sha256":      hex.EncodeToString(digest[:]),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fms_taskgraph_summary.json", string(summary))
+}

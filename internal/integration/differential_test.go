@@ -1,0 +1,163 @@
+// Differential determinism harness for the parallel compile pipeline: every
+// worker count must produce byte-for-byte the same task graph, the same
+// portfolio schedule and the same runtime report as the sequential
+// (workers=1) reference. Checked on the three paper applications and on a
+// corpus of random networks.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/fft"
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/nettest"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// workerCounts are the fan-out settings compared against the sequential
+// reference; they cover the default (GOMAXPROCS), an odd count and a count
+// exceeding any input size dimension likely on CI.
+var workerCounts = []int{0, 2, 3, 8}
+
+// deriveJSON derives net with the given worker count and returns the graph
+// plus its canonical JSON serialization.
+func deriveJSON(t *testing.T, net *core.Network, workers int) (*taskgraph.TaskGraph, string) {
+	t.Helper()
+	tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("derive workers=%d: %v", workers, err)
+	}
+	text, err := export.MarshalIndent(export.TaskGraph(tg))
+	if err != nil {
+		t.Fatalf("marshal workers=%d: %v", workers, err)
+	}
+	return tg, text
+}
+
+// scheduleJSON runs the heuristic portfolio with the given worker count and
+// returns the winning schedule plus its canonical JSON serialization.
+func scheduleJSON(t *testing.T, tg *taskgraph.TaskGraph, m, workers int) (*sched.Schedule, string) {
+	t.Helper()
+	s, err := sched.Portfolio(tg, m, sched.PortfolioOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("portfolio workers=%d: %v", workers, err)
+	}
+	text, err := export.MarshalIndent(export.Schedule(s))
+	if err != nil {
+		t.Fatalf("marshal schedule workers=%d: %v", workers, err)
+	}
+	return s, text
+}
+
+// TestDifferentialPaperApps proves the parallel pipeline changes nothing on
+// the three applications of the paper: derivation, portfolio scheduling and
+// the runtime report are deep-equal and JSON byte-identical at every worker
+// count.
+func TestDifferentialPaperApps(t *testing.T) {
+	apps := []struct {
+		name   string
+		build  func() *core.Network
+		m      int
+		inputs map[string][]core.Value
+	}{
+		{"signal", signal.New, 2, signal.Inputs(2)},
+		{"fft", fft.New, 2, fft.Inputs([]fft.Frame{{1, 2, 3, 4}, {5, 6, 7, 8}})},
+		{"fft-overhead", fft.NewWithOverheadJob, 2, nil},
+		{"fms", fms.New, 2, fms.Inputs(100)},
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			t.Parallel()
+			// One network instance throughout: behaviours are closures, so
+			// graphs derived from two build() calls are never DeepEqual
+			// even when structurally identical.
+			net := app.build()
+			refTG, refTGJSON := deriveJSON(t, net, 1)
+			refS, refSJSON := scheduleJSON(t, refTG, app.m, 1)
+			refRep, err := rt.Run(refS, rt.Config{Frames: 2, Inputs: app.inputs})
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			refRepJSON, err := export.MarshalIndent(export.Report(refRep))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, w := range workerCounts {
+				tg, tgJSON := deriveJSON(t, net, w)
+				if !reflect.DeepEqual(tg, refTG) {
+					t.Fatalf("workers=%d: task graph differs from sequential", w)
+				}
+				if tgJSON != refTGJSON {
+					t.Fatalf("workers=%d: task-graph JSON differs from sequential", w)
+				}
+				s, sJSON := scheduleJSON(t, tg, app.m, w)
+				if s.Heuristic != refS.Heuristic || !reflect.DeepEqual(s.Assign, refS.Assign) {
+					t.Fatalf("workers=%d: portfolio schedule differs from sequential", w)
+				}
+				if sJSON != refSJSON {
+					t.Fatalf("workers=%d: schedule JSON differs from sequential", w)
+				}
+				rep, err := rt.Run(s, rt.Config{Frames: 2, Inputs: app.inputs})
+				if err != nil {
+					t.Fatalf("workers=%d: run: %v", w, err)
+				}
+				repJSON, err := export.MarshalIndent(export.Report(rep))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if repJSON != refRepJSON {
+					t.Fatalf("workers=%d: runtime report JSON differs from sequential", w)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomNetworks sweeps ≥50 random networks: for each, the
+// parallel derivation and portfolio must match the sequential reference
+// byte-for-byte.
+func TestDifferentialRandomNetworks(t *testing.T) {
+	trials := trialCount(t, 50)
+	rng := rand.New(rand.NewSource(4242))
+	nets := make([]*core.Network, trials)
+	for i := range nets {
+		nets[i] = nettest.Random(rng, nettest.Options{})
+	}
+
+	for trial, net := range nets {
+		trial, net := trial, net
+		t.Run(fmt.Sprintf("net%03d", trial), func(t *testing.T) {
+			t.Parallel()
+			refTG, refTGJSON := deriveJSON(t, net, 1)
+			m := len(refTG.Jobs) // feasible by construction at one job per processor
+			refS, refSJSON := scheduleJSON(t, refTG, m, 1)
+			for _, w := range workerCounts {
+				tg, tgJSON := deriveJSON(t, net, w)
+				if !reflect.DeepEqual(tg, refTG) {
+					t.Fatalf("workers=%d: task graph differs from sequential", w)
+				}
+				if tgJSON != refTGJSON {
+					t.Fatalf("workers=%d: task-graph JSON differs from sequential", w)
+				}
+				s, sJSON := scheduleJSON(t, tg, m, w)
+				if s.Heuristic != refS.Heuristic {
+					t.Fatalf("workers=%d: portfolio winner %v, sequential picked %v",
+						w, s.Heuristic, refS.Heuristic)
+				}
+				if sJSON != refSJSON {
+					t.Fatalf("workers=%d: schedule JSON differs from sequential", w)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestRandomNetworksValidate(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 100; trial++ {
 		net := Random(rng, Options{})
@@ -22,6 +23,7 @@ func TestRandomNetworksValidate(t *testing.T) {
 }
 
 func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	a := Random(rand.New(rand.NewSource(7)), Options{})
 	b := Random(rand.New(rand.NewSource(7)), Options{})
 	if a.Name != b.Name || len(a.Processes()) != len(b.Processes()) ||
@@ -31,6 +33,7 @@ func TestRandomIsDeterministicPerSeed(t *testing.T) {
 }
 
 func TestRandomEventsRespectConstraints(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	horizon := rational.FromInt(4)
 	for trial := 0; trial < 50; trial++ {
@@ -51,6 +54,7 @@ func TestRandomEventsRespectConstraints(t *testing.T) {
 }
 
 func TestMixerBehaviourRuns(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	net := Random(rng, Options{})
 	res, err := core.RunZeroDelay(net, rational.FromInt(2), core.ZeroDelayOptions{

@@ -1,0 +1,46 @@
+package rational
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip checks the two parsing contracts on arbitrary input:
+// Parse never panics (it returns errors, even for overflowing numerators,
+// denominators and decimal expansions), and any value it accepts survives a
+// String→Parse round trip exactly.
+//
+// Run with: go test ./internal/rational -fuzz FuzzParseRoundTrip
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1", "-1", "1/2", "-3/7", "10/4", "1.25", "-0.05", ".5", "-.5",
+		"3.", "1/0", "0/0", "x", "1/2/3", " 7/3 ", "9223372036854775807",
+		"-9223372036854775808", "1/-9223372036854775808",
+		"0.000000000000000000001", "9223372036854775807.9", "+2", "--1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if r.Den() <= 0 {
+			t.Fatalf("Parse(%q) = %v with non-positive denominator", s, r)
+		}
+		text := r.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v, but String %q does not reparse: %v", s, r, text, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip broke: Parse(%q) = %v, reparsed %q = %v", s, r, text, back)
+		}
+		if strings.TrimSpace(s) == text {
+			// Canonical inputs must be fixed points of the round trip.
+			if back.String() != text {
+				t.Fatalf("canonical form unstable: %q -> %q", text, back.String())
+			}
+		}
+	})
+}

@@ -142,9 +142,18 @@ func (r Rat) canon() Rat {
 // Cmp compares r and s and returns -1 if r < s, 0 if r == s, +1 if r > s.
 func (r Rat) Cmp(s Rat) int {
 	r, s = r.normalized(), s.normalized()
-	// Compare a/b vs c/d via a*d vs c*b with checked multiplication.
-	lhs := mulChecked(r.num, s.den)
-	rhs := mulChecked(s.num, r.den)
+	// Normalized forms are unique, so equal values are identical structs;
+	// without this fast path comparing a value to itself could overflow in
+	// the cross multiplication below.
+	if r == s {
+		return 0
+	}
+	// Compare a/b vs c/d via a*(d/g) vs c*(b/g) with g = gcd(b, d): the
+	// common factor cancels on both sides and widens the overflow-free
+	// range of the checked multiplication.
+	g := gcd64(r.den, s.den)
+	lhs := mulChecked(r.num, s.den/g)
+	rhs := mulChecked(s.num, r.den/g)
 	switch {
 	case lhs < rhs:
 		return -1
@@ -270,12 +279,24 @@ func Parse(s string) (Rat, error) {
 		if den == 0 {
 			return Rat{}, fmt.Errorf("rational: zero denominator in %q", s)
 		}
+		// New negates both parts of num/-den and reduces via abs64, either
+		// of which overflows at exactly MinInt64; reject at the boundary so
+		// parsing returns errors, never panics.
+		if num == math.MinInt64 || den == math.MinInt64 {
+			return Rat{}, fmt.Errorf("rational: %q out of range", s)
+		}
 		return New(num, den), nil
 	}
 	if i := strings.IndexByte(s, '.'); i >= 0 {
 		intPart, fracPart := s[:i], s[i+1:]
 		if fracPart == "" {
 			return Rat{}, fmt.Errorf("rational: bad decimal %q", s)
+		}
+		// 18 fractional digits is the most a 10^k denominator can carry in
+		// an int64; longer inputs would overflow, so they are rejected
+		// rather than trusted to the checked (panicking) arithmetic.
+		if len(fracPart) > 18 {
+			return Rat{}, fmt.Errorf("rational: decimal %q has too many fractional digits", s)
 		}
 		neg := strings.HasPrefix(intPart, "-")
 		ip := int64(0)
@@ -284,7 +305,10 @@ func Parse(s string) (Rat, error) {
 			if err != nil {
 				return Rat{}, fmt.Errorf("rational: bad decimal %q: %v", s, err)
 			}
-			ip = v
+			if v == math.MinInt64 {
+				return Rat{}, fmt.Errorf("rational: %q out of range", s)
+			}
+			ip = abs64(v)
 		}
 		fp, err := strconv.ParseInt(fracPart, 10, 64)
 		if err != nil || fp < 0 {
@@ -292,10 +316,14 @@ func Parse(s string) (Rat, error) {
 		}
 		den := int64(1)
 		for range fracPart {
-			den = mulChecked(den, 10)
+			den *= 10 // ≤ 10^18, cannot overflow
 		}
-		frac := New(fp, den)
-		r := FromInt(abs64(ip)).Add(frac)
+		// The exact value is (ip*den + fp)/den; bound-check the numerator
+		// instead of letting Add's checked arithmetic panic.
+		if ip > (math.MaxInt64-fp)/den {
+			return Rat{}, fmt.Errorf("rational: %q out of range", s)
+		}
+		r := New(ip*den+fp, den)
 		if neg {
 			r = r.Neg()
 		}

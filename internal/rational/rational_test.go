@@ -8,6 +8,7 @@ import (
 )
 
 func TestNewNormalizes(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		num, den         int64
 		wantNum, wantDen int64
@@ -31,6 +32,7 @@ func TestNewNormalizes(t *testing.T) {
 }
 
 func TestNewPanicsOnZeroDen(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("New(1, 0) did not panic")
@@ -40,6 +42,7 @@ func TestNewPanicsOnZeroDen(t *testing.T) {
 }
 
 func TestZeroValueIsZero(t *testing.T) {
+	t.Parallel()
 	var r Rat
 	if !r.IsZero() {
 		t.Error("zero value not IsZero")
@@ -56,6 +59,7 @@ func TestZeroValueIsZero(t *testing.T) {
 }
 
 func TestArithmetic(t *testing.T) {
+	t.Parallel()
 	half := New(1, 2)
 	third := New(1, 3)
 	tests := []struct {
@@ -80,6 +84,7 @@ func TestArithmetic(t *testing.T) {
 }
 
 func TestCmp(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		a, b Rat
 		want int
@@ -105,6 +110,7 @@ func TestCmp(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
+	t.Parallel()
 	a, b := New(1, 3), New(1, 2)
 	if !a.Min(b).Equal(a) || !b.Min(a).Equal(a) {
 		t.Error("Min failed")
@@ -115,6 +121,7 @@ func TestMinMax(t *testing.T) {
 }
 
 func TestFloorCeil(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		r           Rat
 		floor, ceil int64
@@ -138,6 +145,7 @@ func TestFloorCeil(t *testing.T) {
 }
 
 func TestFloorDiv(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		r, s Rat
 		want int64
@@ -156,6 +164,7 @@ func TestFloorDiv(t *testing.T) {
 }
 
 func TestLcm(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		a, b, want Rat
 	}{
@@ -173,6 +182,7 @@ func TestLcm(t *testing.T) {
 }
 
 func TestLcmAllFMSHyperperiods(t *testing.T) {
+	t.Parallel()
 	// The FMS case study: lcm(200ms, 5000ms, 1600ms, 1000ms) = 40 s,
 	// reduced to 10 s when MagnDeclin runs at 400 ms.
 	orig := LcmAll([]Rat{Milli(200), Milli(5000), Milli(1600), Milli(1000)})
@@ -186,6 +196,7 @@ func TestLcmAllFMSHyperperiods(t *testing.T) {
 }
 
 func TestLcmPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Lcm(0, 1) did not panic")
@@ -195,6 +206,7 @@ func TestLcmPanicsOnNonPositive(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		r    Rat
 		want string
@@ -213,6 +225,7 @@ func TestString(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		in   string
 		want Rat
@@ -247,6 +260,7 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(num int64, den int64) bool {
 		if den == 0 {
 			den = 1
@@ -267,6 +281,7 @@ func TestParseRoundTrip(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	type wrap struct {
 		T Rat `json:"t"`
 	}
@@ -285,6 +300,7 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 func TestFloat64(t *testing.T) {
+	t.Parallel()
 	if got := New(1, 4).Float64(); got != 0.25 {
 		t.Errorf("Float64(1/4) = %v", got)
 	}
@@ -295,6 +311,7 @@ func TestFloat64(t *testing.T) {
 
 // Property: field axioms on a bounded domain.
 func TestFieldProperties(t *testing.T) {
+	t.Parallel()
 	gen := func(a, b int32, c uint8) Rat {
 		den := int64(c%64) + 1
 		return New(int64(a%10000), den).Add(FromInt(int64(b % 100)))
@@ -335,6 +352,7 @@ func TestFieldProperties(t *testing.T) {
 // Property: Lcm(a,b) is a common multiple and divides any common multiple
 // within the sampled range.
 func TestLcmProperty(t *testing.T) {
+	t.Parallel()
 	f := func(a, b uint16, c, d uint8) bool {
 		x := New(int64(a%500)+1, int64(c%16)+1)
 		y := New(int64(b%500)+1, int64(d%16)+1)
@@ -349,6 +367,7 @@ func TestLcmProperty(t *testing.T) {
 }
 
 func TestOverflowPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected overflow panic")
@@ -359,6 +378,7 @@ func TestOverflowPanics(t *testing.T) {
 }
 
 func TestFloorDivPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+	"repro/internal/taskgraph"
+)
+
+func derive(t *testing.T, net *core.Network) *taskgraph.TaskGraph {
+	t.Helper()
+	tg, err := taskgraph.Derive(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestRunPortfolioCoversEveryHeuristicInOrder(t *testing.T) {
+	t.Parallel()
+	tg := derive(t, signal.New())
+	results := RunPortfolio(tg, 2, PortfolioOptions{})
+	if len(results) != len(Heuristics) {
+		t.Fatalf("%d results for %d heuristics", len(results), len(Heuristics))
+	}
+	for i, r := range results {
+		if r.Heuristic != Heuristics[i] {
+			t.Fatalf("result %d is %v, want %v", i, r.Heuristic, Heuristics[i])
+		}
+		if r.Schedule == nil {
+			t.Fatalf("%v: no schedule: %v", r.Heuristic, r.Err)
+		}
+		if r.Feasible != (r.Schedule.Validate() == nil) {
+			t.Fatalf("%v: feasibility flag disagrees with Validate", r.Heuristic)
+		}
+	}
+}
+
+func TestPortfolioPicksMinimalMakespan(t *testing.T) {
+	t.Parallel()
+	for _, app := range []struct {
+		name string
+		tg   *taskgraph.TaskGraph
+		m    int
+	}{
+		{"signal", derive(t, signal.New()), 2},
+		{"fms", derive(t, fms.New()), 2},
+	} {
+		best, err := Portfolio(app.tg, app.m, PortfolioOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.name, err)
+		}
+		if err := best.Validate(); err != nil {
+			t.Fatalf("%s: portfolio returned infeasible schedule: %v", app.name, err)
+		}
+		for _, r := range RunPortfolio(app.tg, app.m, PortfolioOptions{}) {
+			if r.Feasible && r.Schedule.Makespan().Less(best.Makespan()) {
+				t.Fatalf("%s: %v beats the portfolio pick (%v < %v)",
+					app.name, r.Heuristic, r.Schedule.Makespan(), best.Makespan())
+			}
+		}
+	}
+}
+
+func TestPortfolioLexicographicTieBreak(t *testing.T) {
+	t.Parallel()
+	tg := derive(t, signal.New())
+	best, err := Portfolio(tg, 2, PortfolioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner must be the earliest heuristic among those reaching the
+	// minimal makespan.
+	for _, r := range RunPortfolio(tg, 2, PortfolioOptions{}) {
+		if !r.Feasible {
+			continue
+		}
+		if r.Schedule.Makespan().Equal(best.Makespan()) {
+			if r.Heuristic != best.Heuristic {
+				t.Fatalf("tie broken to %v, want earliest %v", best.Heuristic, r.Heuristic)
+			}
+			break
+		}
+	}
+}
+
+func TestPortfolioDeterministicAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
+	tg := derive(t, fms.New())
+	seq, err := Portfolio(tg, 2, PortfolioOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Portfolio(tg, 2, PortfolioOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Heuristic != seq.Heuristic || par.M != seq.M ||
+			!reflect.DeepEqual(par.Assign, seq.Assign) {
+			t.Fatalf("workers=%d: portfolio schedule differs from sequential", workers)
+		}
+	}
+}
+
+func TestFindFeasibleWorkersMatchesPreferenceOrder(t *testing.T) {
+	t.Parallel()
+	tg := derive(t, signal.New())
+	seq, err := FindFeasibleWorkers(tg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FindFeasibleWorkers(tg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Heuristic != seq.Heuristic || !reflect.DeepEqual(par.Assign, seq.Assign) {
+		t.Fatal("racing FindFeasible changed its selection")
+	}
+}
+
+func TestPortfolioErrorWhenNothingFeasible(t *testing.T) {
+	t.Parallel()
+	tg := derive(t, fms.NewConfig(fms.Original()))
+	// The original FMS graph is feasible on 1 processor, so force failure
+	// with an absurd portfolio: restrict to one heuristic on a graph that
+	// needs more processors than provided. The signal app needs 2.
+	sig := derive(t, signal.New())
+	if _, err := Portfolio(sig, 1, PortfolioOptions{}); err == nil {
+		t.Fatal("expected error on underprovisioned processor count")
+	}
+	if _, err := Portfolio(tg, 1, PortfolioOptions{Heuristics: []Heuristic{ALAPEDF}}); err != nil {
+		// Single-lane portfolio on a feasible instance must succeed.
+		t.Fatalf("single-lane portfolio failed: %v", err)
+	}
+}

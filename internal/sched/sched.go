@@ -330,24 +330,13 @@ func ListSchedule(tg *taskgraph.TaskGraph, m int, h Heuristic) (*Schedule, error
 	return &Schedule{TG: tg, M: m, Assign: assign, Heuristic: h}, nil
 }
 
-// FindFeasible tries every heuristic in order on the given processor count
-// and returns the first schedule satisfying all feasibility constraints,
-// or an error describing the last failure.
+// FindFeasible tries every heuristic on the given processor count and
+// returns the first (in preference order) schedule satisfying all
+// feasibility constraints, or an error describing the last failure. The
+// heuristics race concurrently (see RunPortfolio); the selection is by
+// preference order, so the result matches the historical sequential loop.
 func FindFeasible(tg *taskgraph.TaskGraph, m int) (*Schedule, error) {
-	var lastErr error
-	for _, h := range Heuristics {
-		s, err := ListSchedule(tg, m, h)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if err := s.Validate(); err != nil {
-			lastErr = err
-			continue
-		}
-		return s, nil
-	}
-	return nil, fmt.Errorf("sched: no heuristic found a feasible schedule on %d processors: %w", m, lastErr)
+	return FindFeasibleWorkers(tg, m, 0)
 }
 
 // MinProcessors searches for the smallest processor count in [1, max] with

@@ -10,6 +10,7 @@ import (
 // Property: the hyperperiod is an exact integer multiple of every process
 // period, and the job count of each periodic process is burst·H/T.
 func TestHyperperiodDivisibilityProperty(t *testing.T) {
+	t.Parallel()
 	prop := func(p1, p2, p3 uint8, b uint8) bool {
 		periods := []int64{
 			int64(p1%8+1) * 50,
@@ -58,6 +59,7 @@ func TestHyperperiodDivisibilityProperty(t *testing.T) {
 // nor before the arrival... (the latter can only happen when the original
 // deadline is tiny; then Prop 3.1 rejects, but the tuple stays ordered).
 func TestDeadlineTruncationProperty(t *testing.T) {
+	t.Parallel()
 	prop := func(dRaw uint16) bool {
 		d := int64(dRaw%1500) + 10
 		n := core.NewNetwork("trunc")
@@ -87,6 +89,7 @@ func TestDeadlineTruncationProperty(t *testing.T) {
 // Property: ASAP never decreases along an edge and ALAP never increases
 // backwards (monotonicity of the fixed-point recurrences).
 func TestASAPALAPMonotoneProperty(t *testing.T) {
+	t.Parallel()
 	prop := func(seed uint8) bool {
 		n := core.NewNetwork("mono")
 		n.AddPeriodic("a", ms(100), ms(100), ms(int64(seed%20)+1), nil)

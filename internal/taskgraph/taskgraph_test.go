@@ -2,6 +2,7 @@ package taskgraph
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -361,7 +362,10 @@ func TestTransitiveReductionProperty(t *testing.T) {
 				}
 			}
 		}
-		reduced := transitiveReduction(succ)
+		reduced := transitiveReduction(succ, 1)
+		if par := transitiveReduction(succ, 4); !reflect.DeepEqual(par, reduced) {
+			t.Fatalf("trial %d: parallel reduction differs from sequential", trial)
+		}
 		if len(closure(succ)) != len(closure(reduced)) {
 			t.Fatalf("trial %d: reduction changed the closure", trial)
 		}
