@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz bench experiments golden-update
+.PHONY: all build test vet vet-custom race fuzz bench experiments golden-update lint-golden-update
 
-all: build vet test
+all: build vet vet-custom test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Run the repository's own determinism analyzers (internal/analyzers:
+# noclock, maporder, nakedgo) over the whole module.
+vet-custom:
+	$(GO) run ./cmd/fppnlint-go .
 
 # The compile pipeline and portfolio scheduler fan out goroutines; every
 # test (including the differential determinism harness) must be race-clean.
@@ -24,6 +29,7 @@ race:
 fuzz:
 	$(GO) test ./internal/rational -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -fuzz FuzzNetworkValidate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lint -fuzz FuzzLintNeverPanics -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -34,3 +40,7 @@ experiments:
 # Rewrite the golden task-graph files after an intended derivation change.
 golden-update:
 	$(GO) test ./internal/export -run Golden -update
+
+# Rewrite the golden fppnvet reports after an intended diagnostics change.
+lint-golden-update:
+	$(GO) test ./internal/lint -run TestGolden -update

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	fppnc -app signal|fft|fft-overhead|fms|fms-original [-m N]
+//	fppnc -app signal|fft|fft-overhead|fms|fms-original [-m N] [-vet on|off]
 //	      [-heuristic alap-edf|b-level|deadline-monotonic|edf]
 //	      [-dot taskgraph] [-gantt] [-table]
+//
+// A pre-flight vet pass (internal/lint) refuses to compile models with
+// error-severity findings unless -vet=off. Exit status: 0 on success, 1 on
+// model or compile errors, 2 on invalid usage.
 package main
 
 import (
@@ -16,31 +20,14 @@ import (
 	"os"
 
 	"repro/internal/analysis"
-	"repro/internal/apps/fft"
-	"repro/internal/apps/fms"
-	"repro/internal/apps/signal"
+	"repro/internal/apps"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/export"
+	"repro/internal/lint"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
 )
-
-func buildApp(name string) (*core.Network, error) {
-	switch name {
-	case "signal":
-		return signal.New(), nil
-	case "fft":
-		return fft.New(), nil
-	case "fft-overhead":
-		return fft.NewWithOverheadJob(), nil
-	case "fms":
-		return fms.New(), nil
-	case "fms-original":
-		return fms.NewConfig(fms.Original()), nil
-	default:
-		return nil, fmt.Errorf("unknown application %q (want signal, fft, fft-overhead, fms, fms-original)", name)
-	}
-}
 
 // portfolioName selects the concurrent portfolio race over all heuristics
 // instead of a single SP order.
@@ -52,7 +39,7 @@ func parseHeuristic(name string) (sched.Heuristic, error) {
 			return h, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown heuristic %q", name)
+	return 0, cli.Usagef("unknown heuristic %q", name)
 }
 
 func main() {
@@ -67,24 +54,36 @@ func main() {
 	buffers := flag.Bool("buffers", false, "print FIFO buffer-capacity bounds")
 	compare := flag.Bool("compare", false, "print the heuristic ablation table")
 	jsonOut := flag.String("json", "", "emit JSON for: network, taskgraph, schedule")
+	vet := flag.String("vet", "on", "pre-flight lint: on (refuse to compile on error findings), off")
 	flag.Parse()
 
-	if err := run(*app, *m, *workers, *heuristic, *dot, *jsonOut, *gantt, *table, *buffers, *compare, *width); err != nil {
+	if err := run(*app, *m, *workers, *heuristic, *vet, *dot, *jsonOut, *gantt, *table, *buffers, *compare, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "fppnc:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(app string, m, workers int, heuristic, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
-	net, err := buildApp(app)
+func run(app string, m, workers int, heuristic, vet, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
+	net, err := apps.Build(app)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
 	var h sched.Heuristic
 	if heuristic != portfolioName {
 		if h, err = parseHeuristic(heuristic); err != nil {
 			return err
 		}
+	}
+	switch vet {
+	case "on":
+		rep := lint.Run(net, lint.Options{Processors: m})
+		if rep.HasErrors() {
+			fmt.Fprint(os.Stderr, rep.Text())
+			return fmt.Errorf("model %q failed vet with %d error finding(s); fix them or pass -vet=off", net.Name, len(rep.Errors()))
+		}
+	case "off":
+	default:
+		return cli.Usagef("invalid -vet value %q (want on or off)", vet)
 	}
 	if dot == "network" {
 		fmt.Println(export.NetworkDOT(net))

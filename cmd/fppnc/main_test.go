@@ -1,18 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestBuildApp(t *testing.T) {
-	for _, name := range []string{"signal", "fft", "fft-overhead", "fms", "fms-original"} {
-		net, err := buildApp(name)
-		if err != nil || net == nil {
-			t.Errorf("buildApp(%s): %v", name, err)
-		}
-	}
-	if _, err := buildApp("nope"); err == nil {
-		t.Error("unknown app accepted")
-	}
-}
+	"repro/internal/cli"
+)
 
 func TestParseHeuristic(t *testing.T) {
 	for _, name := range []string{"alap-edf", "b-level", "deadline-monotonic", "edf"} {
@@ -42,15 +34,23 @@ func TestRunSmoke(t *testing.T) {
 		{"fft", 1, "", "", true, false, false, false}, // infeasible branch
 	}
 	for _, c := range cases {
-		if err := run(c.app, c.m, 0, "alap-edf", c.dot, c.json, c.gantt, c.tbl, c.buffers, c.compar, 60); err != nil {
+		if err := run(c.app, c.m, 0, "alap-edf", "on", c.dot, c.json, c.gantt, c.tbl, c.buffers, c.compar, 60); err != nil {
 			t.Errorf("run(%+v): %v", c, err)
 		}
 	}
-	if err := run("ghost", 1, 0, "alap-edf", "", "", false, false, false, false, 60); err == nil {
-		t.Error("unknown app accepted")
-	}
-	if err := run("signal", 1, 0, "magic", "", "", false, false, false, false, 60); err == nil {
-		t.Error("unknown heuristic accepted")
+	// Usage errors (unknown names, bad flag values) exit with status 2;
+	// genuine model or compile failures exit with 1.
+	for _, bad := range []struct{ app, heuristic, vet string }{
+		{"ghost", "alap-edf", "on"},
+		{"signal", "magic", "on"},
+		{"signal", "alap-edf", "sideways"},
+	} {
+		err := run(bad.app, 1, 0, bad.heuristic, bad.vet, "", "", false, false, false, false, 60)
+		if err == nil {
+			t.Errorf("run(%+v) accepted", bad)
+		} else if got := cli.ExitCode(err); got != cli.ExitUsage {
+			t.Errorf("run(%+v) exit code = %d, want %d", bad, got, cli.ExitUsage)
+		}
 	}
 }
 
@@ -58,11 +58,14 @@ func TestRunPortfolioMode(t *testing.T) {
 	// The portfolio mode must succeed with both a sequential and a
 	// defaulted worker count and print the same winning schedule.
 	for _, workers := range []int{1, 0, 4} {
-		if err := run("signal", 2, workers, "portfolio", "", "", false, false, false, false, 60); err != nil {
+		if err := run("signal", 2, workers, "portfolio", "on", "", "", false, false, false, false, 60); err != nil {
 			t.Errorf("portfolio workers=%d: %v", workers, err)
 		}
 	}
-	if err := run("signal", 1, 0, "portfolio", "", "", false, false, false, false, 60); err == nil {
+	err := run("signal", 1, 0, "portfolio", "on", "", "", false, false, false, false, 60)
+	if err == nil {
 		t.Error("portfolio on an infeasible processor count must fail")
+	} else if got := cli.ExitCode(err); got != cli.ExitError {
+		t.Errorf("model failure exit code = %d, want %d", got, cli.ExitError)
 	}
 }

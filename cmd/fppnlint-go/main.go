@@ -1,0 +1,69 @@
+// Command fppnlint-go runs the repository's custom determinism analyzers
+// (internal/analyzers: noclock, maporder, nakedgo) over a source tree.
+// It is the project's stdlib-only stand-in for a `go vet -vettool`
+// driver.
+//
+// Usage:
+//
+//	fppnlint-go [-json] [root]
+//
+// root defaults to the current directory. Exit status: 0 when clean, 1
+// when any diagnostic is reported, 2 on bad usage or parse failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analyzers"
+)
+
+const (
+	exitClean       = 0
+	exitDiagnostics = 1
+	exitUsage       = 2
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: fppnlint-go [-json] [root]")
+		os.Exit(exitUsage)
+	}
+	root := "."
+	if flag.NArg() == 1 {
+		root = flag.Arg(0)
+	}
+	status, err := run(os.Stdout, root, *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fppnlint-go:", err)
+	}
+	os.Exit(status)
+}
+
+func run(w io.Writer, root string, jsonOut bool) (int, error) {
+	diags, err := analyzers.Check(root, analyzers.All)
+	if err != nil {
+		return exitUsage, err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return exitUsage, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		fmt.Fprintf(w, "fppnlint-go: %d diagnostic(s) in %s\n", len(diags), root)
+	}
+	if len(diags) > 0 {
+		return exitDiagnostics, nil
+	}
+	return exitClean, nil
+}

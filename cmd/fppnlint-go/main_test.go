@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// The repository itself must be clean under its own analyzers.
+func TestRepositoryIsClean(t *testing.T) {
+	var out bytes.Buffer
+	status, err := run(&out, filepath.Join("..", ".."), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != exitClean {
+		t.Fatalf("repository has determinism lint diagnostics:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 diagnostic(s)") {
+		t.Errorf("summary line missing:\n%s", out.String())
+	}
+}
+
+func TestDiagnosticsAndJSON(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "core")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package core\n\nimport \"time\"\n\nfunc now() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	status, err := run(&out, root, false)
+	if err != nil || status != exitDiagnostics {
+		t.Fatalf("status %d, err %v:\n%s", status, err, out.String())
+	}
+	if !strings.Contains(out.String(), "noclock") || !strings.Contains(out.String(), "1 diagnostic(s)") {
+		t.Errorf("text output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if status, err := run(&out, root, true); err != nil || status != exitDiagnostics {
+		t.Fatalf("json: status %d, err %v", status, err)
+	}
+	var diags []analyzers.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("bad JSON: %v:\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "noclock" {
+		t.Errorf("decoded %+v", diags)
+	}
+}
+
+func TestBadRoot(t *testing.T) {
+	if status, err := run(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing"), false); err == nil || status != exitUsage {
+		t.Errorf("missing root: status %d, err %v", status, err)
+	}
+}

@@ -8,6 +8,9 @@
 //
 //	fppnsim -app signal|fft|fms [-m N] [-frames F] [-overhead none|mppa]
 //	        [-events "CoefB@0.05,CoefB@0.42"] [-concurrent] [-zerocheck]
+//
+// Exit status: 0 on success, 1 on model or runtime errors, 2 on invalid
+// usage.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"repro/internal/apps/fft"
 	"repro/internal/apps/fms"
 	"repro/internal/apps/signal"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/rational"
@@ -67,11 +71,11 @@ func parseEvents(spec string) (map[string][]rt.Time, error) {
 		part = strings.TrimSpace(part)
 		i := strings.IndexByte(part, '@')
 		if i < 0 {
-			return nil, fmt.Errorf("bad event %q, want proc@time", part)
+			return nil, cli.Usagef("bad event %q, want proc@time", part)
 		}
 		t, err := rational.Parse(part[i+1:])
 		if err != nil {
-			return nil, fmt.Errorf("bad event time in %q: %v", part, err)
+			return nil, cli.Usagef("bad event time in %q: %v", part, err)
 		}
 		out[part[:i]] = append(out[part[:i]], t)
 	}
@@ -92,14 +96,14 @@ func main() {
 
 	if err := run(*app, *m, *frames, *workers, *overhead, *events, *concurrent, *zerocheck, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "fppnsim:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 func run(app string, m, frames, workers int, overheadName, eventSpec string, concurrent, zerocheck bool, width int) error {
 	spec, ok := apps[app]
 	if !ok {
-		return fmt.Errorf("unknown application %q (want signal, fft, fms)", app)
+		return cli.Usagef("unknown application %q (want signal, fft, fms)", app)
 	}
 	var overhead platform.OverheadModel
 	switch overheadName {
@@ -107,7 +111,7 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 	case "mppa":
 		overhead = platform.MPPAFFTOverhead()
 	default:
-		return fmt.Errorf("unknown overhead model %q", overheadName)
+		return cli.Usagef("unknown overhead model %q", overheadName)
 	}
 	evs, err := parseEvents(eventSpec)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/rational"
 )
 
@@ -43,13 +44,16 @@ func TestRunSmoke(t *testing.T) {
 	if err := run("signal", 2, 7, 4, "none", "CoefB@0.05", true, true, 80); err != nil {
 		t.Errorf("concurrent signal: %v", err)
 	}
-	if err := run("ghost", 1, 1, 0, "none", "", false, false, 80); err == nil {
-		t.Error("unknown app accepted")
-	}
-	if err := run("signal", 1, 1, 0, "warp", "", false, false, 80); err == nil {
-		t.Error("unknown overhead accepted")
-	}
-	if err := run("signal", 1, 1, 0, "none", "bad", false, false, 80); err == nil {
-		t.Error("bad event spec accepted")
+	for _, bad := range []struct{ app, overhead, events string }{
+		{"ghost", "none", ""},
+		{"signal", "warp", ""},
+		{"signal", "none", "bad"},
+	} {
+		err := run(bad.app, 1, 1, 0, bad.overhead, bad.events, false, false, 80)
+		if err == nil {
+			t.Errorf("run(%+v) accepted", bad)
+		} else if got := cli.ExitCode(err); got != cli.ExitUsage {
+			t.Errorf("run(%+v) exit code = %d, want %d", bad, got, cli.ExitUsage)
+		}
 	}
 }

@@ -1,0 +1,83 @@
+// Command fppnvet lints an FPPN model: it runs the structured diagnostics
+// engine of internal/lint over an example application (or one of the
+// intentionally broken demo fixtures) and reports the findings in text or
+// JSON form.
+//
+// Usage:
+//
+//	fppnvet -app signal|fft|fft-overhead|fms|fms-original [-m N] [-json]
+//	fppnvet -app broken-model|broken-timing|empty   (demo fixtures)
+//
+// Exit status: 0 when the model is clean, 1 when any finding is reported,
+// 2 on invalid usage (unknown application, bad flags).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/lint"
+)
+
+// exit statuses.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
+// buildTarget resolves an application or demo-fixture name.
+func buildTarget(name string) (*core.Network, error) {
+	if build, ok := lint.Fixtures()[name]; ok {
+		return build(), nil
+	}
+	net, err := apps.Build(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown application %q (want %s, or a demo fixture: %s)",
+			name, strings.Join(apps.Names(), ", "), strings.Join(lint.FixtureNames(), ", "))
+	}
+	return net, nil
+}
+
+func main() {
+	app := flag.String("app", "signal", "application or demo fixture to lint")
+	m := flag.Int("m", 2, "processor capacity assumed by the utilization rule")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	status, err := run(os.Stdout, *app, *m, *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fppnvet:", err)
+	}
+	os.Exit(status)
+}
+
+// run lints the target and writes the report, returning the exit status.
+func run(w io.Writer, app string, m int, jsonOut bool) (int, error) {
+	if m <= 0 {
+		return exitUsage, fmt.Errorf("invalid processor count %d", m)
+	}
+	net, err := buildTarget(app)
+	if err != nil {
+		return exitUsage, err
+	}
+	rep := lint.Run(net, lint.Options{Processors: m})
+	if jsonOut {
+		text, err := rep.JSON()
+		if err != nil {
+			return exitUsage, err
+		}
+		fmt.Fprint(w, text)
+	} else {
+		fmt.Fprint(w, rep.Text())
+	}
+	if len(rep.Findings) > 0 {
+		return exitFindings, nil
+	}
+	return exitClean, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/lint"
+)
+
+func TestExitStatuses(t *testing.T) {
+	cases := []struct {
+		app    string
+		status int
+	}{
+		{"signal", exitClean},
+		{"fft", exitClean},
+		{"fft-overhead", exitClean},
+		{"fms", exitClean},
+		{"fms-original", exitClean},
+		{"broken-model", exitFindings},
+		{"broken-timing", exitFindings},
+		{"empty", exitFindings},
+		{"ghost", exitUsage},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		status, err := run(&out, c.app, 2, false)
+		if status != c.status {
+			t.Errorf("run(%s) status = %d (err %v), want %d", c.app, status, err, c.status)
+		}
+		if c.status == exitUsage {
+			if err == nil {
+				t.Errorf("run(%s): no error reported", c.app)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("run(%s): %v", c.app, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("run(%s): no report written", c.app)
+		}
+	}
+	if status, err := run(&bytes.Buffer{}, "signal", 0, false); status != exitUsage || err == nil {
+		t.Errorf("non-positive -m accepted: status %d, err %v", status, err)
+	}
+}
+
+// The -json output must be byte-identical to the golden reports pinned in
+// internal/lint/testdata.
+func TestJSONMatchesGolden(t *testing.T) {
+	for _, app := range []string{"signal", "fft", "fms", "broken-model", "broken-timing"} {
+		var out bytes.Buffer
+		if _, err := run(&out, app, 2, true); err != nil {
+			t.Fatalf("run(%s): %v", app, err)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "internal", "lint", "testdata", app+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%s: -json output differs from golden testdata:\n%s", app, out.String())
+		}
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var out bytes.Buffer
+	if status, err := run(&out, "broken-model", 2, false); status != exitFindings || err != nil {
+		t.Fatalf("status %d, err %v", status, err)
+	}
+	for _, want := range []string{"error FPPN001", "error FPPN004", "fix:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// Every registered app and every demo fixture must resolve, and the two
+// name spaces must not collide.
+func TestBuildTarget(t *testing.T) {
+	for _, name := range apps.Names() {
+		if _, ok := lint.Fixtures()[name]; ok {
+			t.Errorf("app name %q collides with a fixture", name)
+		}
+		if net, err := buildTarget(name); err != nil || net == nil {
+			t.Errorf("buildTarget(%s): %v", name, err)
+		}
+	}
+	for _, name := range lint.FixtureNames() {
+		if net, err := buildTarget(name); err != nil || net == nil {
+			t.Errorf("buildTarget(%s): %v", name, err)
+		}
+	}
+}

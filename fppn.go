@@ -29,6 +29,7 @@ package fppn
 import (
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/lint"
 	"repro/internal/platform"
 	"repro/internal/rational"
 	"repro/internal/rt"
@@ -224,6 +225,43 @@ type (
 // GenerateTA translates the network and its schedule into a network of
 // timed automata, the paper's prototype tool flow.
 func GenerateTA(s *Schedule, cfg TAConfig) (*TAProgram, error) { return codegen.Generate(s, cfg) }
+
+// Static-analysis types (package internal/lint).
+type (
+	// LintReport is the outcome of one lint run over a network.
+	LintReport = lint.Report
+	// LintFinding is one structured diagnostic (code, severity, subject).
+	LintFinding = lint.Finding
+	// LintOptions tunes the warning-severity rules.
+	LintOptions = lint.Options
+	// LintRule describes one registered diagnostic.
+	LintRule = lint.Rule
+	// LintSeverity ranks findings (info, warning, error).
+	LintSeverity = lint.Severity
+)
+
+// Lint severities.
+const (
+	// LintInfo marks observations with no action required.
+	LintInfo = lint.Info
+	// LintWarning marks conditions that compile but deserve attention.
+	LintWarning = lint.Warning
+	// LintError marks violations of the model's hard preconditions.
+	LintError = lint.Error
+)
+
+// Lint runs the structured diagnostics engine over the network: the
+// error-severity findings are exactly the ValidateSchedulable rules, and
+// warning rules flag timing and topology hazards (see DESIGN.md for the
+// FPPN001–013 catalogue).
+func Lint(net *Network, opts LintOptions) *LintReport { return lint.Run(net, opts) }
+
+// LintRules returns a copy of the diagnostic registry, in report order.
+func LintRules() []LintRule {
+	out := make([]LintRule, len(lint.Rules))
+	copy(out, lint.Rules)
+	return out
+}
 
 // Baseline types (package internal/unisched).
 type (

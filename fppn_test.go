@@ -195,3 +195,38 @@ func ExampleRunZeroDelay() {
 	// 9
 	// 16
 }
+
+func TestPublicAPILint(t *testing.T) {
+	// The demo pipeline is clean.
+	rep := fppn.Lint(buildPipeline(), fppn.LintOptions{})
+	if rep.HasErrors() || len(rep.Findings) != 0 {
+		t.Fatalf("pipeline findings: %v", rep.Findings)
+	}
+
+	// Breaking the model surfaces error-severity findings with the same
+	// verdict as ValidateSchedulable.
+	broken := buildPipeline()
+	broken.AddPeriodic("rogue", fppn.Ms(100), fppn.Ms(100), fppn.Ms(1), fppn.BehaviorFunc(
+		func(*fppn.JobContext) error { return nil }))
+	broken.Connect("rogue", "actuator", "rogue_out", fppn.FIFO)
+	rep = fppn.Lint(broken, fppn.LintOptions{})
+	if !rep.HasErrors() {
+		t.Fatal("FP-uncovered channel not reported")
+	}
+	if broken.ValidateSchedulable() == nil {
+		t.Fatal("ValidateSchedulable disagrees with the lint verdict")
+	}
+	if rep.Errors()[0].Severity != fppn.LintError {
+		t.Errorf("severity = %v", rep.Errors()[0].Severity)
+	}
+
+	// The registry is exposed (and copied: mutating it is harmless).
+	rules := fppn.LintRules()
+	if len(rules) == 0 || rules[0].Code != "FPPN001" {
+		t.Fatalf("LintRules() = %v", rules)
+	}
+	rules[0].Code = "mutated"
+	if fppn.LintRules()[0].Code != "FPPN001" {
+		t.Error("LintRules must return a copy")
+	}
+}

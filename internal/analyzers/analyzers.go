@@ -1,0 +1,220 @@
+// Package analyzers implements the repository's custom determinism lints
+// as go/analysis-style passes over the standard library's go/ast — the
+// golang.org/x/tools analysis driver is deliberately not a dependency.
+// Three analyzers guard the properties the paper's reproduction rests on:
+//
+//   - noclock: the deterministic packages (internal/core, taskgraph,
+//     sched, rational) must not read wall-clock time or use the global
+//     math/rand generator;
+//   - maporder: iterating a Go map to build a slice without sorting it
+//     afterwards leaks nondeterministic ordering into output;
+//   - nakedgo: goroutines may only be spawned by the audited concurrency
+//     layers (internal/parallel, internal/rt).
+//
+// A finding can be suppressed by a "fppnlint:ignore" comment on, or on
+// the line above, the offending line. The cmd/fppnlint-go command drives
+// the analyzers over the whole module.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Position locates the finding in the source tree.
+	Position token.Position `json:"position"`
+	// Analyzer names the pass that produced it.
+	Analyzer string `json:"analyzer"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the familiar "file:line:col: name:
+// message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer run over one package directory.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources of the directory.
+	Files []*ast.File
+	// Dir is the module-relative directory, e.g. "internal/core".
+	Dir string
+
+	suppressed map[string]map[int]bool // file -> suppressed lines
+	out        *[]Diagnostic
+}
+
+// Reportf records a finding unless an fppnlint:ignore comment suppresses
+// its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed[position.Filename][position.Line] {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Position: position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one custom lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in reports.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Applies filters the module-relative directories the pass runs on;
+	// nil means every directory.
+	Applies func(dir string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All is the analyzer registry, in report order.
+var All = []*Analyzer{NoClock, MapOrder, NakedGo}
+
+// ignoreMarker suppresses findings on its own line and the next.
+const ignoreMarker = "fppnlint:ignore"
+
+// Check parses every non-test Go file under root (skipping testdata,
+// hidden and vendor directories) and runs the analyzers, returning the
+// findings sorted by position.
+func Check(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dirs[filepath.Dir(path)] = append(dirs[filepath.Dir(path)], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var dirNames []string
+	for dir := range dirs {
+		dirNames = append(dirNames, dir)
+	}
+	sort.Strings(dirNames)
+
+	var out []Diagnostic
+	fset := token.NewFileSet()
+	for _, dir := range dirNames {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		var files []*ast.File
+		suppressed := make(map[string]map[int]bool)
+		sort.Strings(dirs[dir])
+		for _, path := range dirs[dir] {
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", path, err)
+			}
+			files = append(files, file)
+			suppressed[fset.Position(file.Pos()).Filename] = suppressedLines(fset, file)
+		}
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(rel) {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      files,
+				Dir:        rel,
+				suppressed: suppressed,
+				out:        &out,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressedLines collects the lines covered by fppnlint:ignore comments:
+// the comment's own line (trailing form) and the line after it.
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if !strings.Contains(c.Text, ignoreMarker) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// dirIn reports whether dir equals or is nested under any of the given
+// module-relative prefixes.
+func dirIn(dir string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if dir == p || strings.HasPrefix(dir, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the name under which the file imports path, or ""
+// when the import is absent (or blank).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}

@@ -1,0 +1,234 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays out a synthetic module tree and returns its root.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func check(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	diags, err := Check(write(t, files), All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func messages(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestNoClockFlagsDeterministicPackages(t *testing.T) {
+	diags := check(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 { return time.Now().UnixNano() + int64(rand.Intn(3)) }
+`,
+	})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (math/rand import, time.Now call), got:\n%s", messages(diags))
+	}
+	for _, want := range []string{"math/rand", "time.Now"} {
+		if !strings.Contains(messages(diags), want) {
+			t.Errorf("missing %q in:\n%s", want, messages(diags))
+		}
+	}
+}
+
+func TestNoClockIgnoresOtherPackagesAndDurations(t *testing.T) {
+	diags := check(t, map[string]string{
+		// Same sins outside the deterministic packages: allowed.
+		"internal/export/ok.go": `package export
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`,
+		// Duration arithmetic inside a deterministic package: allowed.
+		"internal/sched/ok.go": `package sched
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func parse(s string) (time.Duration, error) { return time.ParseDuration(s) }
+`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", messages(diags))
+	}
+}
+
+func TestNoClockHonoursImportAlias(t *testing.T) {
+	diags := check(t, map[string]string{
+		"internal/rational/bad.go": `package rational
+
+import clock "time"
+
+func now() clock.Time { return clock.Now() }
+`,
+	})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "clock.Now") {
+		t.Fatalf("want one clock.Now diagnostic, got:\n%s", messages(diags))
+	}
+}
+
+func TestMapOrderFlagsUnsortedCollect(t *testing.T) {
+	diags := check(t, map[string]string{
+		"pkg/bad.go": `package pkg
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	if len(diags) != 1 || diags[0].Analyzer != "maporder" {
+		t.Fatalf("want one maporder diagnostic, got:\n%s", messages(diags))
+	}
+}
+
+func TestMapOrderAllowsSortedCollect(t *testing.T) {
+	diags := check(t, map[string]string{
+		"pkg/ok.go": `package pkg
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", messages(diags))
+	}
+}
+
+func TestMapOrderSeesFieldsMakesAndNestedMaps(t *testing.T) {
+	diags := check(t, map[string]string{
+		"pkg/bad.go": `package pkg
+
+type net struct {
+	fp map[string]map[string]bool
+}
+
+func (n *net) lows(p string) []string {
+	var out []string
+	for lo := range n.fp[p] {
+		out = append(out, lo)
+	}
+	return out
+}
+
+func local() []int {
+	m := make(map[int]bool)
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 maporder diagnostics, got:\n%s", messages(diags))
+	}
+}
+
+func TestNakedGoOutsideConcurrencyLayers(t *testing.T) {
+	worker := `package p
+
+func spawn() {
+	go func() {}()
+}
+`
+	diags := check(t, map[string]string{
+		"internal/sched/bad.go":   "package sched\n\nfunc spawn() {\n\tgo func() {}()\n}\n",
+		"internal/parallel/ok.go": worker,
+		"internal/rt/ok.go":       worker,
+	})
+	if len(diags) != 1 || diags[0].Analyzer != "nakedgo" {
+		t.Fatalf("want one nakedgo diagnostic, got:\n%s", messages(diags))
+	}
+	if !strings.Contains(diags[0].Position.Filename, "sched") {
+		t.Errorf("diagnostic in wrong file: %v", diags[0])
+	}
+}
+
+func TestSuppressionComment(t *testing.T) {
+	diags := check(t, map[string]string{
+		"pkg/ok.go": `package pkg
+
+func spawnTrailing() {
+	go func() {}() // fppnlint:ignore -- test helper, order-independent
+}
+
+func spawnAbove() {
+	// fppnlint:ignore -- test helper, order-independent
+	go func() {}()
+}
+
+func spawnCaught() {
+	go func() {}()
+}
+`,
+	})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the unsuppressed diagnostic, got:\n%s", messages(diags))
+	}
+}
+
+func TestSkipsTestFilesAndTestdata(t *testing.T) {
+	diags := check(t, map[string]string{
+		"internal/core/x_test.go":       "package core\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+		"pkg/testdata/bad.go":           "package bad\n\nfunc f() { go func() {}() }\n",
+		"internal/core/testdata/bad.go": "package bad\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+	})
+	if len(diags) != 0 {
+		t.Fatalf("test files and testdata must be skipped, got:\n%s", messages(diags))
+	}
+}

@@ -1,0 +1,226 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// MapOrder flags loops that range over a map and append to a slice inside
+// a function that never sorts: Go's map iteration order is randomized per
+// run, so the slice's order — and anything printed or scheduled from it —
+// would differ between executions. The repository convention is to sort
+// immediately (sortedKeys, sort.Strings, slices.Sort) after collecting.
+//
+// Without the type checker the map-ness of the ranged expression is
+// inferred syntactically: identifiers declared or assigned with a map
+// type in the same function or package, struct fields of package types
+// with map type, and single-index expressions over map-of-map values.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid ranging over a map to build a slice unless the function sorts " +
+		"afterwards; map iteration order is nondeterministic",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	fieldMaps, fieldNested := make(map[string]bool), make(map[string]bool)
+	pkgMaps, pkgNested := make(map[string]bool), make(map[string]bool)
+	for _, file := range p.Files {
+		collectPackageMaps(file, fieldMaps, fieldNested, pkgMaps, pkgNested)
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(p, fn, fieldMaps, fieldNested, pkgMaps, pkgNested)
+		}
+	}
+}
+
+// collectPackageMaps records struct fields and package-level variables
+// with (nested) map types.
+func collectPackageMaps(file *ast.File, fields, fieldNested, vars, varNested map[string]bool) {
+	record := func(names []*ast.Ident, typ ast.Expr, set, nested map[string]bool) {
+		mt, ok := typ.(*ast.MapType)
+		if !ok {
+			return
+		}
+		_, deep := mt.Value.(*ast.MapType)
+		for _, name := range names {
+			set[name.Name] = true
+			if deep {
+				nested[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				record(f.Names, f.Type, fields, fieldNested)
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && vs.Type != nil {
+					record(vs.Names, vs.Type, vars, varNested)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mapExprType infers whether an expression is a map value. Returns
+// (isMap, valueIsMap).
+func mapTypeOf(e ast.Expr) (bool, bool) {
+	mt, ok := e.(*ast.MapType)
+	if !ok {
+		return false, false
+	}
+	_, deep := mt.Value.(*ast.MapType)
+	return true, deep
+}
+
+// mapRHS infers map-ness from an assignment's right-hand side:
+// make(map[...]...) calls and map composite literals.
+func mapRHS(e ast.Expr) (bool, bool) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 1 {
+			return mapTypeOf(e.Args[0])
+		}
+	case *ast.CompositeLit:
+		if e.Type != nil {
+			return mapTypeOf(e.Type)
+		}
+	}
+	return false, false
+}
+
+func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNested map[string]bool) {
+	localMaps, localNested := make(map[string]bool), make(map[string]bool)
+	record := func(names []*ast.Ident, typ ast.Expr) {
+		isMap, deep := mapTypeOf(typ)
+		if !isMap {
+			return
+		}
+		for _, name := range names {
+			localMaps[name.Name] = true
+			if deep {
+				localNested[name.Name] = true
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			record(f.Names, f.Type)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if isMap, deep := mapRHS(n.Rhs[i]); isMap {
+					localMaps[id.Name] = true
+					if deep {
+						localNested[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					if vs.Type != nil {
+						record(vs.Names, vs.Type)
+					}
+					for i, rhs := range vs.Values {
+						if isMap, deep := mapRHS(rhs); isMap && i < len(vs.Names) {
+							localMaps[vs.Names[i].Name] = true
+							if deep {
+								localNested[vs.Names[i].Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	isMapExpr := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return localMaps[e.Name] || pkgMaps[e.Name]
+		case *ast.SelectorExpr:
+			return fieldMaps[e.Sel.Name]
+		case *ast.IndexExpr:
+			switch base := e.X.(type) {
+			case *ast.Ident:
+				return localNested[base.Name] || pkgNested[base.Name]
+			case *ast.SelectorExpr:
+				return fieldNested[base.Sel.Name]
+			}
+		}
+		return false
+	}
+
+	sorts := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				sorts = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(rng.X) {
+			return true
+		}
+		if !appendsToSlice(rng.Body) || sorts {
+			return true
+		}
+		p.Reportf(rng.Pos(),
+			"range over map feeds a slice but the function never sorts; map order is nondeterministic — sort the result (or the keys first)")
+		return true
+	})
+}
+
+// appendsToSlice reports whether the block assigns the result of append
+// to a plain identifier (building an ordered slice).
+func appendsToSlice(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if i < len(assign.Lhs) {
+				if _, ok := assign.Lhs[i].(*ast.Ident); ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

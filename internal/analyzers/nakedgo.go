@@ -1,0 +1,39 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// concurrencyDirs are the audited concurrency layers: internal/parallel's
+// deterministic worker pool and internal/rt's goroutine-per-processor
+// runner with its virtual clock.
+var concurrencyDirs = []string{
+	"internal/parallel",
+	"internal/rt",
+}
+
+// NakedGo forbids `go` statements everywhere else. The differential tests
+// prove the pipeline's results are identical with and without
+// concurrency, but only because every fork point is funnelled through the
+// two audited layers; a stray goroutine elsewhere would reintroduce
+// scheduling nondeterminism invisibly.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc: "forbid go statements outside internal/parallel and internal/rt; " +
+		"route concurrency through the audited deterministic layers",
+	Applies: func(dir string) bool { return !dirIn(dir, concurrencyDirs...) },
+	Run:     runNakedGo,
+}
+
+func runNakedGo(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"naked go statement in %s; use internal/parallel (worker pools) or internal/rt (processor runners)",
+					p.Dir)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deterministicDirs are the packages whose outputs must be pure functions
+// of their inputs: the model, the task-graph derivation, the scheduler and
+// the exact arithmetic underneath them all.
+var deterministicDirs = []string{
+	"internal/core",
+	"internal/taskgraph",
+	"internal/sched",
+	"internal/rational",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+// time.Duration arithmetic and constants stay allowed.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NoClock bans wall-clock reads and the global math/rand generator from
+// the deterministic packages. The compile pipeline must produce identical
+// schedules on every run and every machine; a single time.Now or
+// rand.Intn breaks that silently.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc: "forbid time.Now/Sleep/... and math/rand in the deterministic packages " +
+		"(internal/core, internal/taskgraph, internal/sched, internal/rational)",
+	Applies: func(dir string) bool { return dirIn(dir, deterministicDirs...) },
+	Run:     runNoClock,
+}
+
+func runNoClock(p *Pass) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"import of %s in deterministic package %s; use a seeded local generator (cf. core's splitmix64)",
+					path, p.Dir)
+			}
+		}
+		timeName := importName(file, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"call of %s.%s in deterministic package %s; model time is rational.Rat, not the wall clock",
+				timeName, sel.Sel.Name, p.Dir)
+			return true
+		})
+	}
+}

@@ -1,0 +1,44 @@
+// Package apps registers the paper's example applications under the names
+// the command-line tools accept, so fppnc, fppnvet and the tests build
+// them from one place.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps/fft"
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+)
+
+// registry maps application names to constructors. Keep the constructors
+// argument-free; parameterized variants get their own name.
+var registry = map[string]func() *core.Network{
+	"signal":       signal.New,
+	"fft":          fft.New,
+	"fft-overhead": fft.NewWithOverheadJob,
+	"fms":          fms.New,
+	"fms-original": func() *core.Network { return fms.NewConfig(fms.Original()) },
+}
+
+// Build constructs the named example application.
+func Build(name string) (*core.Network, error) {
+	build, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown application %q (want %s)", name, strings.Join(Names(), ", "))
+	}
+	return build(), nil
+}
+
+// Names returns the registered application names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

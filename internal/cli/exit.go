@@ -1,0 +1,48 @@
+// Package cli holds the conventions shared by the command-line tools:
+// usage errors (bad flags, unknown application names) exit with status 2,
+// model or compile errors exit with status 1, like the go tool itself.
+package cli
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Exit statuses shared by fppnc and fppnsim.
+const (
+	// ExitOK is a clean run.
+	ExitOK = 0
+	// ExitError is a model, compile or runtime failure.
+	ExitError = 1
+	// ExitUsage is an invalid invocation.
+	ExitUsage = 2
+)
+
+// usageError marks an error as an invocation problem.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// Usagef formats a usage error: ExitCode maps it to ExitUsage.
+func Usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool {
+	var u usageError
+	return errors.As(err, &u)
+}
+
+// ExitCode maps an error to the conventional exit status.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		return ExitUsage
+	default:
+		return ExitError
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Diagnostic codes for the error-severity model rules. The rules live here,
+// in exactly one place: Validate and ValidateSchedulable join the problems
+// into plain errors, and internal/lint re-expresses the same problems as
+// structured findings (and layers warning-severity rules on top). The code
+// space FPPN0xx is shared with internal/lint, which documents every code.
+const (
+	// CodeBuilder marks accumulated network-construction errors
+	// (duplicate names, unknown processes, invalid generators, ...).
+	CodeBuilder = "FPPN001"
+	// CodeFPCycle marks a cyclic functional-priority graph
+	// (Definition 2.1 requires an acyclic relation).
+	CodeFPCycle = "FPPN002"
+	// CodeFPCoverage marks a channel whose writer and reader are not
+	// functional-priority related (the precondition of Proposition 2.1).
+	CodeFPCoverage = "FPPN003"
+	// CodeSporadicUser marks a sporadic process violating the
+	// schedulable-subclass restriction of Section III-A: exactly one
+	// user, periodic, with T_u(p) <= T_p.
+	CodeSporadicUser = "FPPN004"
+	// CodeWCET marks a process whose WCET is not positive (the list
+	// scheduler of Section III-B needs C > 0).
+	CodeWCET = "FPPN005"
+)
+
+// Problem is one structured validation finding: a diagnostic code, the
+// model element it concerns, and a human-readable message. Problem
+// implements error; Validate joins problems verbatim, so the error text is
+// identical to the historical unstructured validation.
+type Problem struct {
+	// Code is the FPPN0xx diagnostic code.
+	Code string
+	// SubjectKind is "network", "process" or "channel".
+	SubjectKind string
+	// Subject is the name of the offending element.
+	Subject string
+	// Message describes the violation.
+	Message string
+	// Fix optionally suggests a remedy.
+	Fix string
+}
+
+// Error implements the error interface with the bare message, keeping the
+// joined output of Validate byte-identical to the pre-structured era.
+func (p Problem) Error() string { return p.Message }
+
+// Problems reports the well-formedness violations of the network
+// (Definition 2.1): accumulated builder errors, a cyclic functional
+// priority, and channels whose endpoint processes are not FP-related.
+// An empty result means Validate returns nil.
+func (n *Network) Problems() []Problem {
+	var out []Problem
+	for _, err := range n.errs {
+		out = append(out, Problem{
+			Code:        CodeBuilder,
+			SubjectKind: "network",
+			Subject:     n.Name,
+			Message:     err.Error(),
+		})
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		out = append(out, Problem{
+			Code:        CodeFPCycle,
+			SubjectKind: "network",
+			Subject:     n.Name,
+			Message:     err.Error(),
+			Fix:         "remove one Priority edge on the cycle",
+		})
+	}
+	for _, name := range n.chanOrder {
+		c := n.chans[name]
+		if c.Writer == c.Reader {
+			continue // same-process access is ordered by job index
+		}
+		if !n.PriorityRelated(c.Writer, c.Reader) {
+			out = append(out, Problem{
+				Code:        CodeFPCoverage,
+				SubjectKind: "channel",
+				Subject:     c.Name,
+				Message: fmt.Sprintf(
+					"channel %q: no functional priority between writer %q and reader %q",
+					c.Name, c.Writer, c.Reader),
+				Fix: fmt.Sprintf("add Priority(%q, %q) or Priority(%q, %q)",
+					c.Writer, c.Reader, c.Reader, c.Writer),
+			})
+		}
+	}
+	return out
+}
+
+// SchedulableProblems reports the additional restrictions of the
+// schedulable FPPN subclass (Section III-A): every sporadic process has a
+// unique periodic user with at most the same period, and every process has
+// a positive WCET.
+func (n *Network) SchedulableProblems() []Problem {
+	var out []Problem
+	for _, name := range n.procOrder {
+		p := n.procs[name]
+		if p.IsSporadic() {
+			if _, err := n.UserOf(name); err != nil {
+				out = append(out, Problem{
+					Code:        CodeSporadicUser,
+					SubjectKind: "process",
+					Subject:     name,
+					Message:     err.Error(),
+					Fix:         "connect the sporadic process by channels to exactly one periodic process with T_u <= T_p",
+				})
+			}
+		}
+		if p.WCET.Sign() <= 0 {
+			out = append(out, Problem{
+				Code:        CodeWCET,
+				SubjectKind: "process",
+				Subject:     name,
+				Message:     fmt.Sprintf("process %q: WCET %v is not positive", name, p.WCET),
+				Fix:         "set a positive worst-case execution time",
+			})
+		}
+	}
+	return out
+}
+
+// joinProblems converts a problem list into a single joined error (nil when
+// the list is empty), preserving each problem's message verbatim.
+func joinProblems(ps []Problem) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	errs := make([]error, len(ps))
+	for i, p := range ps {
+		errs[i] = p
+	}
+	return errors.Join(errs...)
+}

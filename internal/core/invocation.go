@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/rational"
@@ -107,9 +106,9 @@ func (n *Network) LinearExtension(seed int64) (map[string]int, error) {
 			indeg[lo]++
 		}
 	}
-	var rng *rand.Rand
+	var rng *splitmix64
 	if seed >= 0 {
-		rng = rand.New(rand.NewSource(seed))
+		rng = newSplitmix64(uint64(seed))
 	}
 	var ready []string
 	for _, p := range n.procOrder {
@@ -191,4 +190,33 @@ func Hyperperiod(net *Network, substitute map[string]Time) (Time, error) {
 		return rational.Zero, fmt.Errorf("core: network %q has no processes", net.Name)
 	}
 	return rational.LcmAll(periods), nil
+}
+
+// splitmix64 is a tiny deterministic pseudo-random generator (Steele,
+// Lea & Flood, "Fast Splittable Pseudorandom Number Generators"). It
+// replaces math/rand in this package: the deterministic compile pipeline
+// must not depend on global or wall-clock-seeded randomness, and the
+// fppnlint-go vettool enforces that ban. Seeded identically, it yields the
+// same tie-break sequence on every platform.
+type splitmix64 struct{ state uint64 }
+
+func newSplitmix64(seed uint64) *splitmix64 {
+	// Offset the seed so that seed 0 does not start at the fixed point.
+	return &splitmix64{state: seed + 0x9e3779b97f4a7c15}
+}
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform pseudo-random int in [0, n); n must be positive.
+func (s *splitmix64) Intn(n int) int {
+	if n <= 0 {
+		panic("core: splitmix64.Intn with non-positive n")
+	}
+	return int(s.next() % uint64(n))
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -260,27 +259,11 @@ func (n *Network) PriorityEdges() [][2]string {
 //   - the functional-priority graph is acyclic;
 //   - FP relates the writer and reader of every internal channel
 //     (the paper's requirement (p1,p2) ∈ C ⇒ p1→p2 ∨ p2→p1).
+//
+// It is a thin adapter over Problems, which exposes the same rules as
+// structured diagnostics.
 func (n *Network) Validate() error {
-	errs := make([]error, len(n.errs))
-	copy(errs, n.errs)
-
-	if _, err := n.TopoOrder(); err != nil {
-		errs = append(errs, err)
-	}
-
-	for _, name := range n.chanOrder {
-		c := n.chans[name]
-		if c.Writer == c.Reader {
-			continue // same-process access is ordered by job index
-		}
-		if !n.PriorityRelated(c.Writer, c.Reader) {
-			errs = append(errs, fmt.Errorf(
-				"channel %q: no functional priority between writer %q and reader %q",
-				c.Name, c.Writer, c.Reader))
-		}
-	}
-
-	return errors.Join(errs...)
+	return joinProblems(n.Problems())
 }
 
 // UserOf returns the unique periodic "user" process u(p) of a sporadic
@@ -332,24 +315,10 @@ func (n *Network) UserOf(sporadic string) (*Process, error) {
 // ValidateSchedulable checks, in addition to Validate, the restrictions of
 // the schedulable FPPN subclass: every sporadic process has a unique
 // periodic user with at most the same period, and every process has a
-// positive WCET (needed by the scheduler).
+// positive WCET (needed by the scheduler). Like Validate, it is a thin
+// adapter over the structured problem lists.
 func (n *Network) ValidateSchedulable() error {
-	errs := []error{}
-	if err := n.Validate(); err != nil {
-		errs = append(errs, err)
-	}
-	for _, name := range n.procOrder {
-		p := n.procs[name]
-		if p.IsSporadic() {
-			if _, err := n.UserOf(name); err != nil {
-				errs = append(errs, err)
-			}
-		}
-		if p.WCET.Sign() <= 0 {
-			errs = append(errs, fmt.Errorf("process %q: WCET %v is not positive", name, p.WCET))
-		}
-	}
-	return errors.Join(errs...)
+	return joinProblems(append(n.Problems(), n.SchedulableProblems()...))
 }
 
 // TopoOrder returns the processes in a topological order of the FP DAG,

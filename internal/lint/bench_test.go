@@ -1,0 +1,24 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// BenchmarkRunFMS measures one full lint pass over the largest example
+// application (the 12-process avionics FMS); EXPERIMENTS.md records the
+// result.
+func BenchmarkRunFMS(b *testing.B) {
+	net, err := apps.Build("fms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := Run(net, Options{}); rep.HasErrors() {
+			b.Fatal("fms must lint clean")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+func ms(n int64) core.Time { return rational.Milli(n) }
+
+// Fixtures returns deliberately broken networks keyed by name, used by the
+// golden diagnostics tests and exposed through fppnvet -app so every
+// diagnostic code can be demonstrated from the command line:
+//
+//   - "broken-model" violates the hard model rules (FPPN001–005);
+//   - "broken-timing" is a valid, schedulable model whose timing triggers
+//     every warning rule (FPPN006–012);
+//   - "empty" triggers FPPN013.
+func Fixtures() map[string]func() *core.Network {
+	return map[string]func() *core.Network{
+		"broken-model":  BrokenModel,
+		"broken-timing": BrokenTiming,
+		"empty":         func() *core.Network { return core.NewNetwork("empty") },
+	}
+}
+
+// FixtureNames returns the fixture names, sorted.
+func FixtureNames() []string {
+	var out []string
+	for name := range Fixtures() {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BrokenModel builds a network violating every error-severity rule:
+// a duplicate process name (FPPN001), a functional-priority cycle
+// (FPPN002), an FP-uncovered channel (FPPN003), sporadic processes with no
+// user, two users and a too-slow user (FPPN004), and a zero WCET (FPPN005).
+func BrokenModel() *core.Network {
+	n := core.NewNetwork("broken-model")
+	n.AddPeriodic("dup", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.AddPeriodic("dup", ms(100), ms(100), ms(1), core.NopBehavior) // FPPN001
+
+	// FPPN002: a -> b -> c -> a.
+	n.AddPeriodic("a", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.AddPeriodic("b", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.AddPeriodic("c", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.PriorityChain("a", "b", "c", "a")
+
+	// FPPN003: d -> e channel with no priority between d and e.
+	n.AddPeriodic("d", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.AddPeriodic("e", ms(100), ms(100), ms(1), core.NopBehavior)
+	n.Connect("d", "e", "uncovered", core.FIFO)
+
+	// FPPN004, three ways: no user; two users; user slower than the
+	// sporadic period.
+	n.AddSporadic("loner", 1, ms(400), ms(400), ms(1), core.NopBehavior)
+	n.AddSporadic("torn", 1, ms(400), ms(400), ms(1), core.NopBehavior)
+	n.ConnectInit("torn", "a", "torn_a", 0)
+	n.ConnectInit("torn", "b", "torn_b", 0)
+	n.Priority("a", "torn")
+	n.Priority("b", "torn")
+	n.AddPeriodic("slowUser", ms(800), ms(800), ms(1), core.NopBehavior)
+	n.AddSporadic("rushed", 1, ms(400), ms(600), ms(1), core.NopBehavior)
+	n.ConnectInit("rushed", "slowUser", "rushed_cfg", 0)
+	n.Priority("slowUser", "rushed")
+
+	// FPPN005: zero WCET.
+	n.AddPeriodic("idle", ms(100), ms(100), rational.Zero, core.NopBehavior)
+
+	n.Output("e", "OUT")
+	n.Output("a", "OUT_A")
+	n.Output("slowUser", "OUT_SLOW")
+	n.Output("idle", "OUT_IDLE")
+	return n
+}
+
+// BrokenTiming builds a fully valid, schedulable network whose timing
+// triggers every warning rule: a sporadic process with d ≤ T_u (FPPN006),
+// a WCET above its deadline (FPPN007), total utilization above two
+// processors (FPPN008), two FP-unordered periodic blackboard writers
+// merged by one reader (FPPN009), a channel into an unobservable process
+// (FPPN010, FPPN011), and severely non-harmonic periods (FPPN012).
+func BrokenTiming() *core.Network {
+	n := core.NewNetwork("broken-timing")
+
+	// FPPN008: three heavy processes, U = 3 * 90/100 = 2.7 > 2.
+	for _, name := range []string{"heavy1", "heavy2", "heavy3"} {
+		n.AddPeriodic(name, ms(100), ms(100), ms(90), core.NopBehavior)
+		n.Output(name, "OUT_"+name)
+	}
+
+	// FPPN006: user period 400 ms ≥ sporadic deadline 300 ms.
+	n.AddPeriodic("user", ms(400), ms(400), ms(1), core.NopBehavior)
+	n.AddSporadic("late", 1, ms(800), ms(300), ms(1), core.NopBehavior)
+	n.ConnectInit("late", "user", "late_cfg", 0)
+	n.Priority("user", "late")
+	n.Output("user", "OUT_user")
+
+	// FPPN007: 30 ms of work against a 20 ms deadline.
+	n.AddPeriodic("cramped", ms(400), ms(20), ms(30), core.NopBehavior)
+	n.Output("cramped", "OUT_cramped")
+
+	// FPPN009: two FP-unordered periodic writers feed blackboards into
+	// one merger.
+	n.AddPeriodic("left", ms(200), ms(200), ms(1), core.NopBehavior)
+	n.AddPeriodic("right", ms(200), ms(200), ms(1), core.NopBehavior)
+	n.AddPeriodic("merge", ms(200), ms(200), ms(1), core.NopBehavior)
+	n.ConnectInit("left", "merge", "bb_left", 0)
+	n.ConnectInit("right", "merge", "bb_right", 0)
+	n.Priority("left", "merge")
+	n.Priority("right", "merge")
+	n.Output("merge", "OUT_merge")
+
+	// FPPN010 + FPPN011: feeder -> sink never reaches an output.
+	n.AddPeriodic("feeder", ms(400), ms(400), ms(1), core.NopBehavior)
+	n.AddPeriodic("sink", ms(400), ms(400), ms(1), core.NopBehavior)
+	n.Connect("feeder", "sink", "into_the_void", core.FIFO)
+	n.Priority("feeder", "sink")
+
+	// FPPN012: two coprime millisecond periods push H to ~16.7 minutes
+	// against the 100 ms base rate.
+	n.AddPeriodic("prime997", ms(997), ms(997), ms(1), core.NopBehavior)
+	n.AddPeriodic("prime1009", ms(1009), ms(1009), ms(1), core.NopBehavior)
+	n.Output("prime997", "OUT_997")
+	n.Output("prime1009", "OUT_1009")
+	return n
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nettest"
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// trialCount returns the number of randomized trials: FPPN_FUZZ_TRIALS if
+// set, else def — the same knob the integration suite honours.
+func trialCount(t *testing.T, def int) int {
+	t.Helper()
+	s := os.Getenv("FPPN_FUZZ_TRIALS")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		t.Fatalf("bad FPPN_FUZZ_TRIALS=%q: want a positive integer", s)
+	}
+	return n
+}
+
+// mutate applies one deterministic corruption to a well-formed random
+// network, chosen by sel, so the fuzzer reaches the error rules too. sel 0
+// leaves the network intact.
+func mutate(net *core.Network, sel byte) {
+	procs := net.Processes()
+	if len(procs) == 0 {
+		return
+	}
+	first := procs[0].Name
+	last := procs[len(procs)-1].Name
+	switch sel % 6 {
+	case 1: // FPPN005: zero out a WCET.
+		net.Process(first).WCET = rational.Zero
+	case 2: // FPPN002: close an FP cycle over the whole process set.
+		net.PriorityChain(last, first)
+	case 3: // FPPN003: an FP-uncovered channel between strangers.
+		net.AddPeriodic("zz_a", rational.Milli(100), rational.Milli(100), rational.Milli(1), core.NopBehavior)
+		net.AddPeriodic("zz_b", rational.Milli(100), rational.Milli(100), rational.Milli(1), core.NopBehavior)
+		net.Connect("zz_a", "zz_b", "zz_uncovered", core.FIFO)
+	case 4: // FPPN004: a sporadic process with no user.
+		net.AddSporadic("zz_loner", 1, rational.Milli(400), rational.Milli(400), rational.Milli(1), core.NopBehavior)
+	case 5: // FPPN001: a duplicate process name.
+		net.AddPeriodic(first, rational.Milli(100), rational.Milli(100), rational.Milli(1), core.NopBehavior)
+	}
+}
+
+// FuzzLintNeverPanics drives lint.Run over randomly generated networks —
+// pristine and deliberately corrupted — and checks it never panics and
+// keeps its core contract: error findings if and only if
+// ValidateSchedulable rejects the network.
+func FuzzLintNeverPanics(f *testing.F) {
+	f.Add(int64(1), byte(0), 2)
+	f.Add(int64(2), byte(1), 1)
+	f.Add(int64(3), byte(2), 4)
+	f.Add(int64(42), byte(3), 2)
+	f.Add(int64(7), byte(4), 3)
+	f.Add(int64(99), byte(5), 2)
+	f.Fuzz(func(t *testing.T, seed int64, sel byte, m int) {
+		net := nettest.Random(rand.New(rand.NewSource(seed)), nettest.Options{})
+		mutate(net, sel)
+		rep := Run(net, Options{Processors: m})
+		if rep == nil {
+			t.Fatal("Run returned nil")
+		}
+		if rep.HasErrors() != (net.ValidateSchedulable() != nil) {
+			t.Fatalf("seed=%d sel=%d: HasErrors=%v disagrees with ValidateSchedulable=%v",
+				seed, sel, rep.HasErrors(), net.ValidateSchedulable())
+		}
+		if _, err := rep.JSON(); err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+	})
+}
+
+// TestCleanImpliesDerivable is the cross-check property: any network with
+// zero error-severity findings passes ValidateSchedulable and derives a
+// task graph successfully.
+func TestCleanImpliesDerivable(t *testing.T) {
+	trials := trialCount(t, 40)
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		net := nettest.Random(rng, nettest.Options{})
+		rep := Run(net, Options{})
+		if rep.HasErrors() {
+			t.Fatalf("trial %d: random net %q has error findings: %v", i, net.Name, rep.Errors())
+		}
+		if err := net.ValidateSchedulable(); err != nil {
+			t.Fatalf("trial %d: zero error findings but ValidateSchedulable: %v", i, err)
+		}
+		if _, err := taskgraph.Derive(net); err != nil {
+			t.Fatalf("trial %d: zero error findings but Derive: %v", i, err)
+		}
+	}
+}
+
+// TestMutationsCaught pins each mutation to the diagnostic code it is
+// meant to trigger.
+func TestMutationsCaught(t *testing.T) {
+	wants := map[byte]string{
+		1: CodeWCET, 2: CodeFPCycle, 3: CodeFPCoverage, 4: CodeSporadicUser, 5: CodeBuilder,
+	}
+	for sel, want := range wants {
+		net := nettest.Random(rand.New(rand.NewSource(11)), nettest.Options{})
+		mutate(net, sel)
+		rep := Run(net, Options{})
+		found := false
+		for _, f := range rep.Errors() {
+			if f.Code == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mutation %d: expected %s among errors, got %v", sel, want, rep.Errors())
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// Diagnostic codes. FPPN001–005 are the error-severity rules shared with
+// core.Validate / ValidateSchedulable (the rule logic lives in
+// core.Problems and core.SchedulableProblems; this package converts the
+// problems one-to-one). FPPN006–013 are lint-only warnings.
+const (
+	CodeBuilder        = core.CodeBuilder      // FPPN001
+	CodeFPCycle        = core.CodeFPCycle      // FPPN002
+	CodeFPCoverage     = core.CodeFPCoverage   // FPPN003
+	CodeSporadicUser   = core.CodeSporadicUser // FPPN004
+	CodeWCET           = core.CodeWCET         // FPPN005
+	CodeServerDeadline = "FPPN006"
+	CodeWCETDeadline   = "FPPN007"
+	CodeUtilization    = "FPPN008"
+	CodeBlackboardFP   = "FPPN009"
+	CodeDeadChannel    = "FPPN010"
+	CodeDeadProcess    = "FPPN011"
+	CodeHyperperiod    = "FPPN012"
+	CodeEmptyNetwork   = "FPPN013"
+)
+
+// Rules is the ordered diagnostic registry. Run executes the rules in this
+// order; DESIGN.md documents each entry with its paper reference.
+var Rules = []Rule{
+	{Code: CodeBuilder, Severity: Error,
+		Title: "malformed network construction",
+		Ref:   "Def. 2.1 (process network well-formedness)",
+		run:   runCoreProblems},
+	{Code: CodeFPCycle, Severity: Error,
+		Title: "functional-priority cycle",
+		Ref:   "Def. 2.1 (FP must be an acyclic relation)",
+		run:   runCoreProblems},
+	{Code: CodeFPCoverage, Severity: Error,
+		Title: "channel pair not covered by FP",
+		Ref:   "Def. 2.1 / Prop. 2.1 ((p1,p2) ∈ C ⇒ p1→p2 ∨ p2→p1)",
+		run:   runCoreProblems},
+	{Code: CodeSporadicUser, Severity: Error,
+		Title: "sporadic-user subclass violation",
+		Ref:   "§III-A (unique periodic user with T_u(p) ≤ T_p)",
+		run:   runCoreProblems},
+	{Code: CodeWCET, Severity: Error,
+		Title: "non-positive WCET",
+		Ref:   "§III-B (list scheduler requires C > 0)",
+		run:   runCoreProblems},
+	{Code: CodeServerDeadline, Severity: Warning,
+		Title: "server deadline fallback",
+		Ref:   "§III-A footnote 3 (d_p − T_u(p) ≤ 0 → fractional server period)",
+		run:   runServerDeadline},
+	{Code: CodeWCETDeadline, Severity: Warning,
+		Title: "WCET exceeds deadline",
+		Ref:   "Def. 3.1 (C_i > D_i − A_i makes every job infeasible)",
+		run:   runWCETDeadline},
+	{Code: CodeUtilization, Severity: Warning,
+		Title: "utilization exceeds capacity",
+		Ref:   "Prop. 3.1 (Load ≥ Σ C/T; U > m admits no feasible schedule)",
+		run:   runUtilization},
+	{Code: CodeBlackboardFP, Severity: Warning,
+		Title: "FP-unordered blackboard writers merged by one reader",
+		Ref:   "§II-B (blackboard freshness at equal time stamps is fixed only by FP)",
+		run:   runBlackboardMerge},
+	{Code: CodeDeadChannel, Severity: Warning,
+		Title: "dead channel",
+		Ref:   "§II (data never reaches an external output)",
+		run:   runDeadChannels},
+	{Code: CodeDeadProcess, Severity: Warning,
+		Title: "unobservable process",
+		Ref:   "§II (no channel path to an external output)",
+		run:   runDeadProcesses},
+	{Code: CodeHyperperiod, Severity: Warning,
+		Title: "hyperperiod blow-up",
+		Ref:   "§V-B (non-harmonic periods inflate H; the paper reduced FMS 1600→400 ms)",
+		run:   runHyperperiod},
+	{Code: CodeEmptyNetwork, Severity: Warning,
+		Title: "empty network",
+		Ref:   "§III-A (nothing to derive a task graph from)",
+		run:   runEmptyNetwork},
+}
+
+// runCoreProblems converts the core problems carrying the rule's
+// diagnostic code into findings. The problem lists are computed lazily
+// once per run.
+func runCoreProblems(c *context, r Rule) {
+	for _, p := range c.coreProblems() {
+		if p.Code != r.Code {
+			continue
+		}
+		c.addf(r, p.SubjectKind, p.Subject, p.Fix, "%s", p.Message)
+	}
+}
+
+func (c *context) coreProblems() []core.Problem {
+	if c.problems == nil {
+		ps := append(c.net.Problems(), c.net.SchedulableProblems()...)
+		if ps == nil {
+			ps = []core.Problem{}
+		}
+		c.problems = ps
+	}
+	return c.problems
+}
+
+// runServerDeadline warns when a sporadic process's corrected server
+// deadline d_p − T_u(p) would not be positive, so the task-graph derivation
+// falls back to the fractional server period T_u/q of footnote 3.
+func runServerDeadline(c *context, r Rule) {
+	for _, p := range c.net.Processes() {
+		if !p.IsSporadic() {
+			continue
+		}
+		u, err := c.net.UserOf(p.Name)
+		if err != nil {
+			continue // FPPN004 already fired
+		}
+		tu := u.Period()
+		if tu.Less(p.Deadline()) {
+			continue
+		}
+		q := tu.Div(p.Deadline()).Floor() + 1
+		c.addf(r, "process", p.Name,
+			fmt.Sprintf("raise the deadline of %q above the user period %vs", p.Name, tu),
+			"sporadic %q: corrected server deadline d−T_u = %vs is not positive (d=%vs, user %q period %vs); derivation falls back to fractional server period T_u/%d = %vs",
+			p.Name, p.Deadline().Sub(tu), p.Deadline(), u.Name, tu, q, tu.DivInt(q))
+	}
+}
+
+// runWCETDeadline warns when a process's WCET exceeds its relative
+// deadline: every job of the process overruns even alone on a processor.
+func runWCETDeadline(c *context, r Rule) {
+	for _, p := range c.net.Processes() {
+		if p.WCET.Sign() <= 0 {
+			continue // FPPN005 already fired
+		}
+		if p.Deadline().Less(p.WCET) {
+			c.addf(r, "process", p.Name,
+				"reduce the WCET or extend the deadline",
+				"process %q: WCET %vs exceeds relative deadline %vs; every job misses even on an idle processor",
+				p.Name, p.WCET, p.Deadline())
+		}
+	}
+}
+
+// runUtilization warns when the total derived utilization exceeds the
+// assumed processor count. Sporadic processes are charged at their derived
+// server rate (burst per user period), matching the task graph the
+// scheduler actually sees.
+func runUtilization(c *context, r Rule) {
+	u := rational.Zero
+	for _, p := range c.net.Processes() {
+		period := p.Period()
+		if p.IsSporadic() {
+			usr, err := c.net.UserOf(p.Name)
+			if err != nil {
+				continue
+			}
+			period = usr.Period()
+		}
+		if period.Sign() <= 0 || p.WCET.Sign() <= 0 {
+			continue
+		}
+		u = u.Add(p.WCET.MulInt(int64(p.Burst())).Div(period))
+	}
+	m := rational.FromInt(int64(c.opts.Processors))
+	if m.Less(u) {
+		c.addf(r, "network", c.net.Name,
+			fmt.Sprintf("schedule on at least %d processors", u.Ceil()),
+			"total utilization %.3f exceeds the capacity of %d processor(s); no feasible schedule exists",
+			u.Float64(), c.opts.Processors)
+	}
+}
+
+// runBlackboardMerge warns when one reader merges blackboard inputs from
+// two periodic writers that are not FP-related to each other: the model
+// stays deterministic (each writer-reader pair is ordered), but which of
+// the two inputs is fresher at equal invocation time stamps is not
+// documented by the priority relation. Sporadic writers are exempt — their
+// relative freshness is decided by the environment, not the model.
+func runBlackboardMerge(c *context, r Rule) {
+	type in struct{ writer, channel string }
+	byReader := make(map[string][]in)
+	for _, ch := range c.net.Channels() {
+		if ch.Kind != core.Blackboard || ch.Writer == ch.Reader {
+			continue
+		}
+		w := c.net.Process(ch.Writer)
+		if w == nil || w.IsSporadic() {
+			continue
+		}
+		byReader[ch.Reader] = append(byReader[ch.Reader], in{ch.Writer, ch.Name})
+	}
+	readers := make([]string, 0, len(byReader))
+	for rd := range byReader {
+		readers = append(readers, rd)
+	}
+	sort.Strings(readers)
+	for _, rd := range readers {
+		ins := byReader[rd]
+		for i := 0; i < len(ins); i++ {
+			for j := i + 1; j < len(ins); j++ {
+				a, b := ins[i], ins[j]
+				if a.writer == b.writer || c.net.PriorityRelated(a.writer, b.writer) {
+					continue
+				}
+				c.addf(r, "process", rd,
+					fmt.Sprintf("add Priority(%q, %q) or Priority(%q, %q) to document the intended freshness order",
+						a.writer, b.writer, b.writer, a.writer),
+					"process %q merges blackboard inputs %q (from %q) and %q (from %q) whose periodic writers are not FP-related; their relative freshness at equal time stamps is unspecified",
+					rd, a.channel, a.writer, b.channel, b.writer)
+			}
+		}
+	}
+}
+
+// observable computes, for every process, whether its results can reach an
+// external output: the process has one itself, or some channel successor
+// does.
+func (c *context) observableSet() map[string]bool {
+	if c.observable != nil {
+		return c.observable
+	}
+	succ := make(map[string][]string)
+	for _, ch := range c.net.Channels() {
+		if ch.Writer != ch.Reader {
+			succ[ch.Writer] = append(succ[ch.Writer], ch.Reader)
+		}
+	}
+	obs := make(map[string]bool)
+	var stack []string
+	for _, p := range c.net.Processes() {
+		if len(p.ExternalOutputs()) > 0 {
+			obs[p.Name] = true
+		}
+	}
+	// Reverse reachability: a writer feeding an observable reader is
+	// observable. Iterate to the fixpoint (the channel graph is tiny).
+	pred := make(map[string][]string)
+	for w, readers := range succ {
+		for _, rd := range readers {
+			pred[rd] = append(pred[rd], w)
+		}
+	}
+	for p := range obs {
+		stack = append(stack, p)
+	}
+	sort.Strings(stack)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range pred[p] {
+			if !obs[w] {
+				obs[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	c.observable = obs
+	return obs
+}
+
+// runDeadChannels warns about channels whose reader can never propagate
+// the data to an external output: everything written there is dead.
+func runDeadChannels(c *context, r Rule) {
+	obs := c.observableSet()
+	for _, ch := range c.net.Channels() {
+		if obs[ch.Reader] {
+			continue
+		}
+		if c.net.Process(ch.Reader) == nil {
+			continue // FPPN001 already fired
+		}
+		c.addf(r, "channel", ch.Name,
+			fmt.Sprintf("attach an Output to %q or connect it toward an observable process", ch.Reader),
+			"channel %q: data flowing into %q never reaches an external output (dead channel)",
+			ch.Name, ch.Reader)
+	}
+}
+
+// runDeadProcesses warns about processes with no path to any external
+// output: their jobs consume processor time without observable effect.
+func runDeadProcesses(c *context, r Rule) {
+	if len(c.net.Processes()) == 0 {
+		return
+	}
+	obs := c.observableSet()
+	for _, p := range c.net.Processes() {
+		if obs[p.Name] {
+			continue
+		}
+		c.addf(r, "process", p.Name,
+			"attach an Output or connect the process toward an observable one",
+			"process %q has no channel path to any external output; its computation is unobservable",
+			p.Name)
+	}
+}
+
+// runHyperperiod warns when non-harmonic periods blow the frame up: too
+// many jobs per hyperperiod, or a hyperperiod vastly longer than the
+// fastest period. Exact-arithmetic overflow while forming the LCM is
+// itself reported as a (worst-case) instance of the same diagnostic.
+func runHyperperiod(c *context, r Rule) {
+	procs := c.net.Processes()
+	if len(procs) == 0 {
+		return
+	}
+	// Derived periods: sporadic processes run at their server period.
+	substitute := make(map[string]core.Time)
+	for _, p := range procs {
+		if !p.IsSporadic() {
+			continue
+		}
+		u, err := c.net.UserOf(p.Name)
+		if err != nil {
+			return // FPPN004 already fired; H of PN' is undefined
+		}
+		tu := u.Period()
+		if !tu.Less(p.Deadline()) && p.Deadline().Sign() > 0 {
+			tu = tu.DivInt(tu.Div(p.Deadline()).Floor() + 1)
+		}
+		substitute[p.Name] = tu
+	}
+	defer func() {
+		if recover() != nil {
+			c.addf(r, "network", c.net.Name,
+				"harmonize the process periods",
+				"hyperperiod of the process periods overflows exact rational arithmetic; the periods are severely non-harmonic")
+		}
+	}()
+	h, err := core.Hyperperiod(c.net, substitute)
+	if err != nil {
+		return // empty network; FPPN013 fires instead
+	}
+	jobs := int64(0)
+	minT := core.Time{}
+	first := true
+	for _, p := range procs {
+		t := p.Period()
+		if s, ok := substitute[p.Name]; ok {
+			t = s
+		}
+		if t.Sign() <= 0 {
+			return // FPPN001 already fired
+		}
+		jobs += h.Div(t).Floor() * int64(p.Burst())
+		if first || t.Less(minT) {
+			minT, first = t, false
+		}
+	}
+	ratio := h.Div(minT).Floor()
+	if jobs > int64(c.opts.MaxFrameJobs) || ratio > c.opts.MaxPeriodRatio {
+		c.addf(r, "network", c.net.Name,
+			"harmonize the process periods (cf. the paper's FMS reduction 1600 ms → 400 ms)",
+			"hyperperiod %vs spans %d jobs per frame (H/min-period = %d); non-harmonic periods blow the task graph up",
+			h, jobs, ratio)
+	}
+}
+
+// runEmptyNetwork warns when the network has no processes at all: it
+// passes validation vacuously but nothing can be derived from it.
+func runEmptyNetwork(c *context, r Rule) {
+	if len(c.net.Processes()) == 0 {
+		c.addf(r, "network", c.net.Name,
+			"add at least one process",
+			"network %q has no processes; there is nothing to derive a task graph from", c.net.Name)
+	}
+}
