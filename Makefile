@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet vet-custom race fuzz bench experiments golden-update lint-golden-update
+.PHONY: all build test vet vet-custom race fuzz bench bench-json experiments golden-update lint-golden-update
 
 all: build vet vet-custom test
 
@@ -33,6 +33,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Machine-readable benchmark record: the full -benchmem run piped through
+# cmd/benchjson into name -> {ns/op, B/op, allocs/op} JSON. EXPERIMENTS.md's
+# performance tables cite this file.
+bench-json:
+	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -o BENCH_fppn.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -31,6 +31,7 @@ import (
 
 func BenchmarkFig1ZeroDelay(b *testing.B) {
 	events := map[string][]fppn.Time{signal.CoefB: {fppn.Ms(50), fppn.Ms(400)}}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := fppn.RunZeroDelay(signal.New(), fppn.Ms(1400), fppn.ZeroDelayOptions{
 			SporadicEvents: events,
@@ -51,6 +52,7 @@ func BenchmarkFig2SporadicServer(b *testing.B) {
 		b.Fatal(err)
 	}
 	events := map[string][]fppn.Time{signal.CoefB: {fppn.Ms(50), fppn.Ms(400), fppn.Ms(1200)}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan, err := rt.PlanInvocations(tg, 7, events)
@@ -65,6 +67,7 @@ func BenchmarkFig2SporadicServer(b *testing.B) {
 
 func BenchmarkFig3TaskGraph(b *testing.B) {
 	net := signal.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tg, err := taskgraph.Derive(net)
@@ -82,6 +85,7 @@ func BenchmarkFig4StaticSchedule(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := sched.ListSchedule(tg, 2, sched.ALAPEDF)
@@ -96,6 +100,7 @@ func BenchmarkFig4StaticSchedule(b *testing.B) {
 
 func BenchmarkFig5FFTTaskGraph(b *testing.B) {
 	net := fft.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tg, err := taskgraph.Derive(net)
@@ -122,6 +127,7 @@ func benchmarkFFTExecution(b *testing.B, m int, wantMisses bool) {
 		frames[i] = fft.Frame{complex(float64(i), 0), 1, -1, complex(0, 1)}
 	}
 	inputs := fft.Inputs(frames)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := fppn.Run(s, fppn.RunConfig{
@@ -143,6 +149,7 @@ func BenchmarkFig6FFTExecutionM2(b *testing.B) { benchmarkFFTExecution(b, 2, fal
 
 func BenchmarkFig7FMSDerivation(b *testing.B) {
 	net := fms.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tg, err := taskgraph.Derive(net)
@@ -160,6 +167,7 @@ func BenchmarkFig7FMSSchedule(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := sched.ListSchedule(tg, 1, sched.ALAPEDF)
@@ -172,7 +180,10 @@ func BenchmarkFig7FMSSchedule(b *testing.B) {
 	}
 }
 
-func BenchmarkFig7FMSRun(b *testing.B) {
+// fmsRunFixture builds the schedule and run parameters shared by the Fig. 7
+// execution benchmarks.
+func fmsRunFixture(b *testing.B) (*fppn.Schedule, fppn.RunConfig) {
+	b.Helper()
 	tg, err := taskgraph.Derive(fms.New())
 	if err != nil {
 		b.Fatal(err)
@@ -181,14 +192,50 @@ func BenchmarkFig7FMSRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	inputs := fms.Inputs(50)
-	events := map[string][]fppn.Time{
-		fms.AnemoConfig:      {fppn.Ms(40)},
-		fms.MagnDeclinConfig: {fppn.Ms(500)},
+	cfg := fppn.RunConfig{
+		Frames: 1,
+		Inputs: fms.Inputs(50),
+		SporadicEvents: map[string][]fppn.Time{
+			fms.AnemoConfig:      {fppn.Ms(40)},
+			fms.MagnDeclinConfig: {fppn.Ms(500)},
+		},
 	}
+	return s, cfg
+}
+
+// BenchmarkFig7FMSRun measures the repeated-execution hot path: the
+// schedule is compiled once into an ExecPlan and each iteration replays one
+// hyperperiod frame against the interned tables — the pattern used by
+// cmd/fppnsim -frames N and the timed-automata interpreter.
+func BenchmarkFig7FMSRun(b *testing.B) {
+	s, cfg := fmsRunFixture(b)
+	p, err := fppn.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := fppn.Run(s, fppn.RunConfig{Frames: 1, Inputs: inputs, SporadicEvents: events})
+		rep, err := p.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Misses) != 0 {
+			b.Fatal("unexpected misses")
+		}
+	}
+}
+
+// BenchmarkFig7FMSCompileAndRun measures the one-shot facade: fppn.Run
+// compiles the schedule on every call, so each iteration pays for interning
+// plus execution. The delta against BenchmarkFig7FMSRun is the compile cost
+// that ExecPlan amortizes.
+func BenchmarkFig7FMSCompileAndRun(b *testing.B) {
+	s, cfg := fmsRunFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fppn.Run(s, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,6 +253,7 @@ func BenchmarkProp21Determinism(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got, err := fppn.RunZeroDelay(signal.New(), fppn.Ms(1400), fppn.ZeroDelayOptions{
@@ -236,6 +284,7 @@ func BenchmarkProp41Correctness(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		jitter, err := fppn.JitterExec(int64(i), fppn.TimeOf(1, 2))
@@ -263,6 +312,7 @@ func BenchmarkConcurrentRunner(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fppn.RunConcurrent(s, fppn.RunConfig{Frames: 7, Inputs: signal.Inputs(7)}); err != nil {
@@ -276,6 +326,7 @@ func benchmarkHeuristic(b *testing.B, h fppn.Heuristic) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fppn.ListSchedule(tg, 2, h); err != nil {
@@ -299,6 +350,7 @@ func BenchmarkCodegenTA(b *testing.B) {
 		b.Fatal(err)
 	}
 	events := map[string][]fppn.Time{signal.CoefB: {fppn.Ms(50)}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prog, err := fppn.GenerateTA(s, fppn.TAConfig{
@@ -317,6 +369,7 @@ func BenchmarkFMSOriginalHyperperiod(b *testing.B) {
 	// The 40 s variant the paper avoided because of code-generation
 	// overhead: deriving it is ~3.5× the reduced graph's work.
 	net := fms.NewConfig(fms.Original())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tg, err := taskgraph.Derive(net)
@@ -334,6 +387,7 @@ func BenchmarkFMSOriginalHyperperiod(b *testing.B) {
 func BenchmarkBufferBounds(b *testing.B) {
 	net := signal.New()
 	inputs := signal.Inputs(7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := fppn.BufferBounds(net, 7, nil, inputs)
@@ -368,6 +422,7 @@ func BenchmarkPipelinedRun(b *testing.B) {
 	if err := s.ValidatePipelined(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := fppn.Run(s, fppn.RunConfig{Frames: 10, Pipelined: true})
@@ -398,6 +453,7 @@ func BenchmarkMixedCriticality(b *testing.B) {
 		}
 		return j.WCET
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := fppn.RunMC(mcs, fppn.MCConfig{Frames: 10, Exec: overrun})
@@ -413,6 +469,7 @@ func BenchmarkMixedCriticality(b *testing.B) {
 func BenchmarkResponseTimeAnalysis(b *testing.B) {
 	net := fms.New()
 	pr := fppn.RateMonotonic(net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fppn.ResponseTimes(net, pr); err != nil {
@@ -427,6 +484,7 @@ func BenchmarkResponseTimeAnalysis(b *testing.B) {
 // must win on multicore hosts while producing an identical graph.
 func benchmarkFMSDerivationWorkers(b *testing.B, workers int) {
 	net := fms.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
@@ -450,6 +508,7 @@ func benchmarkPortfolioWorkers(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := sched.Portfolio(tg, 2, sched.PortfolioOptions{Workers: workers})

@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document mapping benchmark name to its measured metrics (iterations,
+// ns/op, B/op, allocs/op). `make bench-json` pipes the full benchmark run
+// through it to produce BENCH_fppn.json, the machine-readable companion of
+// the EXPERIMENTS.md performance tables.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson [-o BENCH_fppn.json]
+//
+// Lines that are not benchmark results (package headers, PASS/ok trailers)
+// are ignored. The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so
+// the keys are stable across machines. Exit status: 0 on success, 1 if the
+// input contains no benchmark results or the output cannot be written.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds the metrics of one benchmark. B/op and allocs/op are
+// pointers so benchmarks run without -benchmem serialize as null rather
+// than a misleading zero.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig1ZeroDelay-8   39511   30025 ns/op   20152 B/op   243 allocs/op
+//
+// returning ok=false for any line that is not a benchmark result.
+func parseLine(line string) (name string, r Result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r.Iterations = iters
+	// The remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	// Marshal with sorted keys (encoding/json sorts map keys, but build the
+	// ordered document explicitly so the count line below matches it).
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(names))
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkFig1ZeroDelay-8   \t39511\t  30025 ns/op\t   20152 B/op\t     243 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkFig1ZeroDelay" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.Iterations != 39511 || r.NsPerOp != 30025 {
+		t.Fatalf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 20152 {
+		t.Fatalf("B/op = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 243 {
+		t.Fatalf("allocs/op = %v", r.AllocsPerOp)
+	}
+}
+
+func TestParseLineNoBenchmem(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkX 100 12.5 ns/op")
+	if !ok || name != "BenchmarkX" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if r.NsPerOp != 12.5 || r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatalf("want null memory metrics without -benchmem, got %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.234s",
+		"BenchmarkBroken only-three fields",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted a non-result line", line)
+		}
+	}
+}

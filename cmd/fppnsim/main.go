@@ -138,11 +138,17 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 		Overhead:       overhead,
 		Inputs:         spec.inputs(frames),
 	}
-	runFn := rt.Run
-	if concurrent {
-		runFn = rt.RunConcurrent
+	// Compile the schedule once; the plan replays all requested frames
+	// (and any future re-runs) without re-interning the network.
+	p, err := rt.Compile(s)
+	if err != nil {
+		return err
 	}
-	rep, err := runFn(s, cfg)
+	runFn := p.Run
+	if concurrent {
+		runFn = p.RunConcurrent
+	}
+	rep, err := runFn(cfg)
 	if err != nil {
 		return err
 	}

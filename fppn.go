@@ -196,7 +196,7 @@ func WCETExec() ExecModel { return platform.WCETExec() }
 // [lo·C, C], modelling measurement-based WCET estimation.
 func JitterExec(seed int64, lo Time) (ExecModel, error) { return platform.JitterExec(seed, lo) }
 
-// Runtime types (package internal/rt).
+// Runtime types (packages internal/rt and internal/plan).
 type (
 	// RunConfig parameterizes a runtime execution.
 	RunConfig = rt.Config
@@ -204,15 +204,25 @@ type (
 	Report = rt.Report
 	// Miss is a runtime deadline violation.
 	Miss = rt.Miss
+	// ExecPlan is a compiled execution plan: the schedule lowered to
+	// interned, index-based tables for repeated Run/RunConcurrent calls.
+	ExecPlan = rt.Plan
 )
 
 // Run executes the online static-order policy of Section IV as an exact
-// discrete-event computation.
+// discrete-event computation. It compiles the schedule on every call; use
+// Compile + ExecPlan.Run when executing the same schedule repeatedly.
 func Run(s *Schedule, cfg RunConfig) (*Report, error) { return rt.Run(s, cfg) }
 
 // RunConcurrent executes the policy with one goroutine per processor
 // against a virtual clock — determinism under real concurrency.
 func RunConcurrent(s *Schedule, cfg RunConfig) (*Report, error) { return rt.RunConcurrent(s, cfg) }
+
+// Compile lowers a static schedule into a reusable execution plan:
+// validation, name interning, the combined static order and the frame-0
+// invocation tables are computed once, and every ExecPlan.Run /
+// ExecPlan.RunConcurrent call replays them.
+func Compile(s *Schedule) (*ExecPlan, error) { return rt.Compile(s) }
 
 // Code-generation types (package internal/codegen).
 type (

@@ -9,7 +9,7 @@
 //   - maporder: iterating a Go map to build a slice without sorting it
 //     afterwards leaks nondeterministic ordering into output;
 //   - nakedgo: goroutines may only be spawned by the audited concurrency
-//     layers (internal/parallel, internal/rt).
+//     layers (internal/parallel, internal/plan, internal/rt).
 //
 // A finding can be suppressed by a "fppnlint:ignore" comment on, or on
 // the line above, the offending line. The cmd/fppnlint-go command drives

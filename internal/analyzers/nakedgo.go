@@ -5,10 +5,12 @@ import (
 )
 
 // concurrencyDirs are the audited concurrency layers: internal/parallel's
-// deterministic worker pool and internal/rt's goroutine-per-processor
-// runner with its virtual clock.
+// deterministic worker pool, internal/plan's compiled
+// goroutine-per-processor runner with its virtual clock, and internal/rt's
+// reference copy of that runner.
 var concurrencyDirs = []string{
 	"internal/parallel",
+	"internal/plan",
 	"internal/rt",
 }
 

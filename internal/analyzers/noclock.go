@@ -10,6 +10,7 @@ import (
 // the exact arithmetic underneath them all.
 var deterministicDirs = []string{
 	"internal/core",
+	"internal/plan",
 	"internal/taskgraph",
 	"internal/sched",
 	"internal/rational",

@@ -189,7 +189,7 @@ func Hyperperiod(net *Network, substitute map[string]Time) (Time, error) {
 	if len(periods) == 0 {
 		return rational.Zero, fmt.Errorf("core: network %q has no processes", net.Name)
 	}
-	return rational.LcmAll(periods), nil
+	return rational.LcmAllCached(periods), nil
 }
 
 // splitmix64 is a tiny deterministic pseudo-random generator (Steele,

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Cloner is an optional interface for Behavior implementations whose
@@ -30,56 +29,81 @@ type MachineOptions struct {
 // Machine contains the data semantics only; *when* jobs execute is decided
 // by the caller (the zero-delay executor, the real-time runtime, or the
 // generated timed-automata interpreter).
+//
+// Internally the machine runs on the interned tables of a CompiledNet:
+// channel state and invocation counts are slices indexed by the compiled
+// channel/process IDs, and a single JobContext is reused across jobs, so
+// the per-job cost is free of map lookups and allocations.
 type Machine struct {
-	net       *Network
-	chans     map[string]channelState
-	behaviors map[string]Behavior
-	counts    map[string]int64
+	cn        *CompiledNet
+	chans     []channelState // by cid
+	behaviors []Behavior     // by pid
+	counts    []int64        // by pid
 	inputs    map[string][]Value
 	outputs   map[string][]Sample
 	trace     Trace
 	record    bool
+	ctx       JobContext // reused across ExecJob calls
 }
 
 // NewMachine creates a Machine for a validated network. Behaviors
-// implementing Cloner are cloned; all behaviors are Init-ed.
+// implementing Cloner are cloned; all behaviors are Init-ed. For repeated
+// machine construction over the same network, compile once with
+// CompileNetwork and use NewMachineCompiled.
 func NewMachine(net *Network, opts MachineOptions) (*Machine, error) {
-	if err := net.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid network %q: %w", net.Name, err)
+	cn, err := CompileNetwork(net)
+	if err != nil {
+		return nil, err
 	}
+	return NewMachineCompiled(cn, opts)
+}
+
+// NewMachineCompiled creates a Machine over an already-compiled network,
+// skipping validation and interning.
+func NewMachineCompiled(cn *CompiledNet, opts MachineOptions) (*Machine, error) {
 	for ch := range opts.Inputs {
-		if _, ok := net.extIn[ch]; !ok {
+		if _, ok := cn.net.extIn[ch]; !ok {
 			return nil, fmt.Errorf("core: inputs provided for unknown external input channel %q", ch)
 		}
 	}
 	m := &Machine{
-		net:       net,
-		chans:     make(map[string]channelState, len(net.chans)),
-		behaviors: make(map[string]Behavior, len(net.procs)),
-		counts:    make(map[string]int64, len(net.procs)),
+		cn:        cn,
+		chans:     make([]channelState, len(cn.chans)),
+		behaviors: make([]Behavior, len(cn.procs)),
+		counts:    make([]int64, len(cn.procs)),
 		inputs:    opts.Inputs,
 		outputs:   make(map[string][]Sample),
 		record:    opts.RecordTrace,
 	}
-	for name, c := range net.chans {
-		m.chans[name] = newChannelState(c)
+	m.ctx.m = m
+	for cid, c := range cn.chans {
+		m.chans[cid] = newChannelState(c)
 	}
-	for name, p := range net.procs {
+	for pid, p := range cn.procs {
 		b := p.behavior()
 		if c, ok := b.(Cloner); ok {
 			b = c.Clone()
 		}
 		b.Init()
-		m.behaviors[name] = b
+		m.behaviors[pid] = b
 	}
 	return m, nil
 }
 
 // Network returns the network this machine executes.
-func (m *Machine) Network() *Network { return m.net }
+func (m *Machine) Network() *Network { return m.cn.net }
+
+// Compiled returns the compiled network this machine executes.
+func (m *Machine) Compiled() *CompiledNet { return m.cn }
 
 // Count returns the number of jobs of the process executed so far.
-func (m *Machine) Count(proc string) int64 { return m.counts[proc] }
+func (m *Machine) Count(proc string) int64 {
+	pid, ok := m.cn.procID[proc]
+	if !ok {
+		return 0
+	}
+	return m.counts[pid]
+}
 
 // Wait records the paper's w(τ) action. Callers invoke it when simulated
 // time advances to a new invocation instant.
@@ -93,30 +117,38 @@ func (m *Machine) Wait(t Time) {
 // process at time t. Channel access errors inside the behaviour (touching a
 // channel the process does not own) and behaviour panics are returned as
 // errors.
-func (m *Machine) ExecJob(proc string, t Time) (err error) {
-	p, ok := m.net.procs[proc]
+func (m *Machine) ExecJob(proc string, t Time) error {
+	pid, ok := m.cn.procID[proc]
 	if !ok {
 		return fmt.Errorf("core: ExecJob of unknown process %q", proc)
 	}
-	m.counts[proc]++
-	k := m.counts[proc]
-	ctx := &JobContext{m: m, p: p, k: k, now: t}
+	return m.ExecJobID(pid, t)
+}
+
+// ExecJobID is ExecJob with the process pre-resolved to its compiled id —
+// the allocation-free hot path of the execution engines.
+func (m *Machine) ExecJobID(pid int, t Time) (err error) {
+	p := m.cn.procs[pid]
+	m.counts[pid]++
+	k := m.counts[pid]
+	ctx := &m.ctx
+	ctx.p, ctx.pid, ctx.k, ctx.now, ctx.err = p, pid, k, t, nil
 	if m.record {
-		m.trace = append(m.trace, Action{Kind: ActJobStart, Time: t, Proc: proc, K: k})
+		m.trace = append(m.trace, Action{Kind: ActJobStart, Time: t, Proc: p.Name, K: k})
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: job %s[%d] at %v panicked: %v", proc, k, t, r)
+			err = fmt.Errorf("core: job %s[%d] at %v panicked: %v", p.Name, k, t, r)
 		}
 		if m.record {
-			m.trace = append(m.trace, Action{Kind: ActJobEnd, Time: t, Proc: proc, K: k})
+			m.trace = append(m.trace, Action{Kind: ActJobEnd, Time: t, Proc: p.Name, K: k})
 		}
 	}()
-	if err := m.behaviors[proc].Step(ctx); err != nil {
-		return fmt.Errorf("core: job %s[%d] at %v: %w", proc, k, t, err)
+	if err := m.behaviors[pid].Step(ctx); err != nil {
+		return fmt.Errorf("core: job %s[%d] at %v: %w", p.Name, k, t, err)
 	}
 	if ctx.err != nil {
-		return fmt.Errorf("core: job %s[%d] at %v: %w", proc, k, t, ctx.err)
+		return fmt.Errorf("core: job %s[%d] at %v: %w", p.Name, k, t, ctx.err)
 	}
 	return nil
 }
@@ -133,24 +165,19 @@ func (m *Machine) Trace() Trace { return m.trace }
 // initialized blackboards.
 func (m *Machine) ChannelSnapshot() map[string][]Value {
 	out := make(map[string][]Value, len(m.chans))
-	names := make([]string, 0, len(m.chans))
-	for name := range m.chans {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		out[name] = m.chans[name].snapshot()
+	for _, cid := range m.cn.chanSorted {
+		out[m.cn.chans[cid].Name] = m.chans[cid].snapshot()
 	}
 	return out
 }
 
 // ChannelLen returns the number of readable values in the named channel.
 func (m *Machine) ChannelLen(name string) int {
-	s, ok := m.chans[name]
+	cid, ok := m.cn.chanID[name]
 	if !ok {
 		return 0
 	}
-	return s.len()
+	return m.chans[cid].len()
 }
 
 // ChannelHighWater returns, per channel, the maximum number of values
@@ -159,8 +186,8 @@ func (m *Machine) ChannelLen(name string) int {
 // report at most 1.
 func (m *Machine) ChannelHighWater() map[string]int {
 	out := make(map[string]int, len(m.chans))
-	for name, s := range m.chans {
-		out[name] = s.highWater()
+	for cid, s := range m.chans {
+		out[m.cn.chans[cid].Name] = s.highWater()
 	}
 	return out
 }
@@ -172,6 +199,7 @@ func (m *Machine) ChannelHighWater() map[string]int {
 type JobContext struct {
 	m   *Machine
 	p   *Process
+	pid int
 	k   int64
 	now Time
 	err error
@@ -195,12 +223,12 @@ func (c *JobContext) Inputs() []string { return c.p.Inputs() }
 func (c *JobContext) Outputs() []string { return c.p.Outputs() }
 
 // ExternalInputs returns the external input channels of the executing
-// process, sorted by name.
-func (c *JobContext) ExternalInputs() []string { return c.p.ExternalInputs() }
+// process, sorted by name. The slice is shared; callers must not mutate it.
+func (c *JobContext) ExternalInputs() []string { return c.m.cn.extInSorted[c.pid] }
 
 // ExternalOutputs returns the external output channels of the executing
-// process, sorted by name.
-func (c *JobContext) ExternalOutputs() []string { return c.p.ExternalOutputs() }
+// process, sorted by name. The slice is shared; callers must not mutate it.
+func (c *JobContext) ExternalOutputs() []string { return c.m.cn.extOutSorted[c.pid] }
 
 func (c *JobContext) fail(format string, args ...any) {
 	if c.err == nil {
@@ -208,15 +236,39 @@ func (c *JobContext) fail(format string, args ...any) {
 	}
 }
 
+// inCid resolves an internal input channel name to its cid, or -1 when the
+// process does not own it. Fan-in per process is small, so a linear scan
+// over the interned attachment list beats a map lookup.
+func (c *JobContext) inCid(channel string) int {
+	names := c.m.cn.inName[c.pid]
+	for i, name := range names {
+		if name == channel {
+			return c.m.cn.inID[c.pid][i]
+		}
+	}
+	return -1
+}
+
+func (c *JobContext) outCid(channel string) int {
+	names := c.m.cn.outName[c.pid]
+	for i, name := range names {
+		if name == channel {
+			return c.m.cn.outID[c.pid][i]
+		}
+	}
+	return -1
+}
+
 // Read performs the action x?c on an internal input channel of the process.
 // ok == false indicates non-availability of data (empty FIFO or
 // uninitialized blackboard).
 func (c *JobContext) Read(channel string) (v Value, ok bool) {
-	if !c.p.hasInput(channel) {
+	cid := c.inCid(channel)
+	if cid < 0 {
 		c.fail("process %q read from channel %q it does not own as input", c.p.Name, channel)
 		return nil, false
 	}
-	v, ok = c.m.chans[channel].read()
+	v, ok = c.m.chans[cid].read()
 	if c.m.record {
 		c.m.trace = append(c.m.trace, Action{
 			Kind: ActRead, Time: c.now, Proc: c.p.Name, K: c.k,
@@ -229,11 +281,12 @@ func (c *JobContext) Read(channel string) (v Value, ok bool) {
 // Write performs the action x!c on an internal output channel of the
 // process.
 func (c *JobContext) Write(channel string, v Value) {
-	if !c.p.hasOutput(channel) {
+	cid := c.outCid(channel)
+	if cid < 0 {
 		c.fail("process %q wrote to channel %q it does not own as output", c.p.Name, channel)
 		return
 	}
-	c.m.chans[channel].write(v)
+	c.m.chans[cid].write(v)
 	if c.m.record {
 		c.m.trace = append(c.m.trace, Action{
 			Kind: ActWrite, Time: c.now, Proc: c.p.Name, K: c.k,

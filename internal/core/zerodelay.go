@@ -37,8 +37,22 @@ type ZeroDelayResult struct {
 }
 
 // RunZeroDelay executes the network under the zero-delay semantics over
-// [0, horizon).
+// [0, horizon). It is a compile-then-run facade over CompiledNet:
+// repeated-execution callers should call CompileNetwork once and
+// CompiledNet.RunZeroDelay per run.
 func RunZeroDelay(net *Network, horizon Time, opts ZeroDelayOptions) (*ZeroDelayResult, error) {
+	cn, err := CompileNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	return cn.RunZeroDelay(horizon, opts)
+}
+
+// RunZeroDelayReference is the original string-keyed zero-delay executor,
+// retained verbatim as the differential-testing oracle for the interned
+// engine: GenerateInvocations → LinearExtension → JobSequence, with every
+// lookup going through process names.
+func RunZeroDelayReference(net *Network, horizon Time, opts ZeroDelayOptions) (*ZeroDelayResult, error) {
 	invs, err := GenerateInvocations(net, horizon, opts.SporadicEvents)
 	if err != nil {
 		return nil, err

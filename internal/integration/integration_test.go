@@ -35,7 +35,7 @@ const defaultTrials = 25
 
 // trialCount returns the number of randomized trials to run: the
 // FPPN_FUZZ_TRIALS environment variable if set, else def.
-func trialCount(t *testing.T, def int) int {
+func trialCount(t testing.TB, def int) int {
 	t.Helper()
 	s := os.Getenv("FPPN_FUZZ_TRIALS")
 	if s == "" {

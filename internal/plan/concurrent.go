@@ -1,10 +1,12 @@
-package rt
+package plan
 
-// This file retains the original goroutine-per-processor runner as
-// RunConcurrentReference: the differential-testing oracle for the compiled
-// Plan.RunConcurrent in internal/plan. The exported RunConcurrent facade in
-// rt.go compiles and delegates to the plan engine; this copy keeps the
-// string-keyed machine access and map-based completion flags verbatim.
+// This file implements Plan.RunConcurrent: the static-order policy executed
+// by one goroutine per processor against a virtual clock, the shape of the
+// paper's multi-thread Linux runtime. Unlike Run (an exact discrete-event
+// computation), the goroutines here really race with each other; only the
+// synchronize-invocation and synchronize-precedence waits of Section IV
+// order them. Tests assert that the outputs are nevertheless identical to
+// the zero-delay reference — Proposition 2.1 made executable.
 
 import (
 	"fmt"
@@ -32,16 +34,16 @@ type vclock struct {
 	// time past that window would be wrong, so maybeAdvance treats such
 	// waiters as runnable.
 	doneWaits map[int]int64
-	done      map[int64]bool // (frame*jobs + index) completion flags
+	done      []bool // (frame*jobs + index) completion flags
 	err       error
 }
 
-func newVclock(procs int) *vclock {
+func newVclock(procs, flags int) *vclock {
 	c := &vclock{
 		live:      procs,
 		timeReqs:  make(map[int]Time),
 		doneWaits: make(map[int]int64),
-		done:      make(map[int64]bool),
+		done:      make([]bool, flags),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -153,13 +155,12 @@ func (c *vclock) finish() {
 	c.maybeAdvance()
 }
 
-// RunConcurrentReference is the original goroutine-per-processor engine,
-// retained verbatim as the differential-testing oracle for
-// Plan.RunConcurrent. It exists to demonstrate (and stress under the race
-// detector) that the FPPN synchronization rules alone — not any global
-// sequentialization — deliver deterministic outputs.
-func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
-	tg := s.TG
+// RunConcurrent executes the compiled plan with one goroutine per
+// processor. Functionally it is equivalent to Run; timing-wise it produces
+// the same start/finish instants in virtual time. It exists to demonstrate
+// (and stress under the race detector) that the FPPN synchronization rules
+// alone — not any global sequentialization — deliver deterministic outputs.
+func (p *Plan) RunConcurrent(cfg Config) (*Report, error) {
 	if cfg.Frames < 1 {
 		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
 	}
@@ -170,21 +171,18 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 	if exec == nil {
 		exec = platform.WCETExec()
 	}
-	invs, err := planInvocationsReference(tg, cfg.Frames, cfg.SporadicEvents)
+	flat, err := p.inv.plan(cfg.Frames, cfg.SporadicEvents)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := combinedOrder(s); err != nil {
-		return nil, err
-	}
-	machine, err := core.NewMachine(tg.Net, core.MachineOptions{Inputs: cfg.Inputs})
+	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{Inputs: cfg.Inputs})
 	if err != nil {
 		return nil, err
 	}
 
-	n := len(tg.Jobs)
-	clock := newVclock(s.M)
-	procOrder := s.ProcessorOrder()
+	n := p.n
+	tg := p.tg
+	clock := newVclock(p.S.M, cfg.Frames*n)
 	key := func(frame, index int) int64 { return int64(frame)*int64(n) + int64(index) }
 
 	var dataMu sync.Mutex // serializes Machine access between processors
@@ -194,32 +192,32 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 		misses  []Miss
 		skipped []Skip
 	}
-	results := make([]result, s.M)
+	results := make([]result, p.S.M)
 	var wg sync.WaitGroup
 
-	for p := 0; p < s.M; p++ {
+	for proc := 0; proc < p.S.M; proc++ {
 		wg.Add(1)
-		go func(p int) {
+		go func(proc int) {
 			defer wg.Done()
 			defer clock.finish()
-			res := &results[p]
-			h := tg.Hyperperiod
+			res := &results[proc]
 			for f := 0; f < cfg.Frames; f++ {
-				base := h.MulInt(int64(f))
+				base := p.h.MulInt(int64(f))
 				avail := base.Add(cfg.Overhead.FrameOverhead(f, n))
-				if err := clock.waitUntil(p, avail); err != nil {
+				if err := clock.waitUntil(proc, avail); err != nil {
 					return
 				}
-				for _, i := range procOrder[p] {
+				invs := flat[f*n : (f+1)*n]
+				for _, i := range p.procOrder[proc] {
 					j := tg.Jobs[i]
-					inv := invs[f][i]
+					inv := &invs[i]
 					// Synchronize invocation.
-					if err := clock.waitUntil(p, inv.Ready); err != nil {
+					if err := clock.waitUntil(proc, inv.Ready); err != nil {
 						return
 					}
 					// Synchronize precedence.
 					for _, pre := range tg.Pred[i] {
-						if err := clock.waitDone(p, key(f, pre)); err != nil {
+						if err := clock.waitDone(proc, key(f, pre)); err != nil {
 							return
 						}
 					}
@@ -236,7 +234,7 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 					// guarantees it for every pair of jobs that share
 					// state, so any interleaving of the remaining
 					// (unrelated) jobs is safe here.
-					execErr := machine.ExecJob(j.Proc, inv.Ready)
+					execErr := machine.ExecJobID(p.jobPid[i], inv.Ready)
 					dataMu.Unlock()
 					if execErr != nil {
 						clock.fail(execErr)
@@ -248,11 +246,11 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 						return
 					}
 					end := start.Add(c)
-					if err := clock.waitUntil(p, end); err != nil {
+					if err := clock.waitUntil(proc, end); err != nil {
 						return
 					}
 					res.entries = append(res.entries, sched.GanttEntry{
-						Proc: p, Label: j.Name(), Start: start, End: end,
+						Proc: proc, Label: j.Name(), Start: start, End: end,
 					})
 					if deadline := base.Add(j.Deadline); deadline.Less(end) {
 						res.misses = append(res.misses, Miss{Job: j, Frame: f, Finish: end, Deadline: deadline})
@@ -260,14 +258,14 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 					clock.markDone(key(f, i))
 				}
 			}
-		}(p)
+		}(proc)
 	}
 	wg.Wait()
 	if clock.err != nil {
 		return nil, clock.err
 	}
 
-	report := &Report{Schedule: s, Frames: cfg.Frames}
+	report := &Report{Schedule: p.S, Frames: cfg.Frames}
 	for _, res := range results {
 		report.Entries = append(report.Entries, res.entries...)
 		report.Misses = append(report.Misses, res.misses...)

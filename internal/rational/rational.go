@@ -16,6 +16,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Rat is an exact rational number. The zero value is 0.
@@ -99,6 +100,17 @@ func (r Rat) Neg() Rat {
 // Add returns r + s.
 func (r Rat) Add(s Rat) Rat {
 	r, s = r.normalized(), s.normalized()
+	// Fast paths for the dominant cases in the execution engines: integer
+	// time stamps and equal denominators (frame offsets f·H added to
+	// arrivals sharing H's denominator). Both skip the lcm computation;
+	// a/d + b/d needs only one reduction, and integers need none.
+	if r.den == s.den {
+		num := addChecked(r.num, s.num)
+		if r.den == 1 {
+			return Rat{num, 1}
+		}
+		return New(num, r.den)
+	}
 	// a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
 	g := gcd64(r.den, s.den)
 	db := r.den / g
@@ -109,7 +121,18 @@ func (r Rat) Add(s Rat) Rat {
 }
 
 // Sub returns r - s.
-func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+func (r Rat) Sub(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// Same-denominator fast path, mirroring Add.
+	if r.den == s.den {
+		num := subChecked(r.num, s.num)
+		if r.den == 1 {
+			return Rat{num, 1}
+		}
+		return New(num, r.den)
+	}
+	return r.Add(s.Neg())
+}
 
 // Mul returns r * s.
 func (r Rat) Mul(s Rat) Rat {
@@ -147,6 +170,18 @@ func (r Rat) Cmp(s Rat) int {
 	// the cross multiplication below.
 	if r == s {
 		return 0
+	}
+	// Equal denominators (in particular both integers) compare by
+	// numerator alone — no cross multiplication, no overflow risk.
+	if r.den == s.den {
+		switch {
+		case r.num < s.num:
+			return -1
+		case r.num > s.num:
+			return 1
+		default:
+			return 0
+		}
 	}
 	// Compare a/b vs c/d via a*(d/g) vs c*(b/g) with g = gcd(b, d): the
 	// common factor cancels on both sides and widens the overflow-free
@@ -247,6 +282,34 @@ func LcmAll(values []Rat) Rat {
 	acc := values[0]
 	for _, v := range values[1:] {
 		acc = Lcm(acc, v)
+	}
+	return acc
+}
+
+// lcmMemo caches pairwise Lcm results for LcmAllCached. Hyperperiod
+// computations fold the same period multiset on every compile (execution
+// plans recompile networks repeatedly), and exact pairwise LCMs are
+// immutable values, so a process-wide cache changes nothing observable.
+// sync.Map keeps it safe under the parallel compile pipeline.
+var lcmMemo sync.Map // [2]Rat -> Rat
+
+// LcmAllCached is LcmAll with pairwise memoization: the hyperperiod fold
+// H = lcm(T_1, ..., T_n) hits the same (accumulator, period) pairs on
+// every recompilation of a network, so repeated compiles skip the gcd
+// chains entirely. Semantically identical to LcmAll.
+func LcmAllCached(values []Rat) Rat {
+	if len(values) == 0 {
+		panic("rational: LcmAllCached of empty slice")
+	}
+	acc := values[0].normalized()
+	for _, v := range values[1:] {
+		key := [2]Rat{acc, v.normalized()}
+		if hit, ok := lcmMemo.Load(key); ok {
+			acc = hit.(Rat)
+			continue
+		}
+		acc = Lcm(acc, v)
+		lcmMemo.Store(key, acc)
 	}
 	return acc
 }
@@ -386,6 +449,14 @@ func addChecked(a, b int64) int64 {
 		panic(fmt.Sprintf("rational: integer overflow in %d + %d", a, b))
 	}
 	return s
+}
+
+func subChecked(a, b int64) int64 {
+	d := a - b
+	if (a >= 0 && b < 0 && d <= 0) || (a < 0 && b > 0 && d >= 0) {
+		panic(fmt.Sprintf("rational: integer overflow in %d - %d", a, b))
+	}
+	return d
 }
 
 func mulChecked(a, b int64) int64 {

@@ -386,3 +386,103 @@ func TestFloorDivPanicsOnNonPositive(t *testing.T) {
 	}()
 	One.FloorDiv(Zero)
 }
+
+// reference implementations of the pre-fast-path arithmetic: general-case
+// lcm-based addition and cross-multiplication comparison. The fast paths
+// (same denominator, integers) must be indistinguishable from these.
+func addReference(r, s Rat) Rat {
+	g := gcd64(r.Den(), s.Den())
+	db := r.Den() / g
+	dd := s.Den() / g
+	den := mulChecked(db, s.Den())
+	num := addChecked(mulChecked(r.Num(), dd), mulChecked(s.Num(), db))
+	return New(num, den)
+}
+
+func cmpReference(r, s Rat) int {
+	g := gcd64(r.Den(), s.Den())
+	lhs := mulChecked(r.Num(), s.Den()/g)
+	rhs := mulChecked(s.Num(), r.Den()/g)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestFastPathsMatchReference drives Add, Sub and Cmp through value pairs
+// that hit every branch — both integers, equal denominators, coprime
+// denominators, shared factors, negatives, zero — and checks each result
+// against the general-path reference.
+func TestFastPathsMatchReference(t *testing.T) {
+	t.Parallel()
+	vals := []Rat{
+		Zero, One, FromInt(-1), FromInt(7), FromInt(-7), FromInt(200),
+		New(1, 2), New(-1, 2), New(3, 2), New(1, 3), New(2, 3), New(-2, 3),
+		New(1, 1000), New(7, 1000), New(-13, 1000), New(999, 1000),
+		New(1, 6), New(5, 6), New(1, 10), New(3, 10), New(7, 10),
+		Milli(100), Milli(200), Milli(700), Milli(-50),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := a.Add(b), addReference(a, b); !got.Equal(want) {
+				t.Errorf("%v + %v = %v, want %v", a, b, got, want)
+			}
+			if got, want := a.Sub(b), addReference(a, b.Neg()); !got.Equal(want) {
+				t.Errorf("%v - %v = %v, want %v", a, b, got, want)
+			}
+			if got, want := a.Cmp(b), cmpReference(a, b); got != want {
+				t.Errorf("Cmp(%v, %v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestSameDenominatorReduction: a/d + b/d must still reduce, e.g.
+// 1/6 + 1/6 = 1/3, and the sum of opposites is the canonical zero.
+func TestSameDenominatorReduction(t *testing.T) {
+	t.Parallel()
+	if got := New(1, 6).Add(New(1, 6)); got.Num() != 1 || got.Den() != 3 {
+		t.Errorf("1/6 + 1/6 = %v, want 1/3 in lowest terms", got)
+	}
+	if got := New(1, 6).Sub(New(1, 6)); !got.IsZero() || got.Den() != 1 {
+		t.Errorf("1/6 - 1/6 = %d/%d, want canonical 0", got.Num(), got.Den())
+	}
+	if got := New(5, 6).Add(New(1, 6)); got.Num() != 1 || got.Den() != 1 {
+		t.Errorf("5/6 + 1/6 = %v, want 1", got)
+	}
+}
+
+// TestSubOverflowPanics: the same-denominator subtraction fast path keeps
+// the checked-overflow contract of the general path.
+func TestSubOverflowPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	_ = FromInt(math.MinInt64 + 1).Sub(FromInt(math.MaxInt64))
+}
+
+// TestLcmAllCached must agree with LcmAll on repeated folds (the memo is
+// warm on the second call) and on the FMS period set.
+func TestLcmAllCached(t *testing.T) {
+	t.Parallel()
+	sets := [][]Rat{
+		{Milli(100), Milli(200), Milli(400)},
+		{Milli(100), Milli(200), Milli(400), Milli(500), Milli(1000), FromInt(10)},
+		{New(1, 3), New(1, 4), New(5, 6)},
+	}
+	for _, set := range sets {
+		want := LcmAll(set)
+		for pass := 0; pass < 2; pass++ {
+			if got := LcmAllCached(set); !got.Equal(want) {
+				t.Errorf("pass %d: LcmAllCached(%v) = %v, want %v", pass, set, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package rt
+
+// Differential tests pinning the compiled plan layer to the string-keyed
+// reference implementations retained in this package: the invocation
+// planner against planInvocationsReference, and the pipelined engine with
+// sporadic events straddling hyperperiod-frame boundaries — the Fig. 2
+// window rules (b−T', b] for p→u(p) and [b−T', b) for u(p)→p, crossing
+// frames.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nettest"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// TestPlanInvocationsMatchesReference sweeps random networks with random
+// event schedules: the index-arithmetic planner must reproduce the
+// windowed-map reference frame for frame.
+func TestPlanInvocationsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 40; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		tg, err := taskgraph.Derive(net)
+		if err != nil {
+			t.Fatalf("trial %d: derive: %v", trial, err)
+		}
+		frames := 1 + rng.Intn(4)
+		horizon := tg.Hyperperiod.MulInt(int64(frames))
+		events := nettest.RandomEvents(rng, net, horizon)
+
+		got, gotErr := PlanInvocations(tg, frames, events)
+		want, wantErr := planInvocationsReference(tg, frames, events)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: error mismatch: plan %v, reference %v", trial, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("trial %d: error text mismatch:\nplan:      %v\nreference: %v",
+					trial, gotErr, wantErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: invocation plan diverges from reference (frames=%d, events=%v)",
+				trial, frames, events)
+		}
+	}
+}
+
+// TestPlanInvocationsErrorParity drives the planner's rejection paths on a
+// single-sporadic network and demands the exact reference error text:
+// beyond-horizon events, windows ending after the last frame, unknown and
+// non-sporadic processes.
+func TestPlanInvocationsErrorParity(t *testing.T) {
+	n := core.NewNetwork("err-parity")
+	n.AddPeriodic("u", ms(100), ms(100), ms(10), nil)
+	n.AddSporadic("s", 1, ms(100), ms(150), ms(5), nil)
+	n.Connect("s", "u", "cfg", core.Blackboard)
+	n.Priority("s", "u")
+	tg, err := taskgraph.Derive(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []map[string][]Time{
+		{"s": {ms(1000)}},          // beyond the 2-frame horizon
+		{"s": {ms(150)}},           // window ends after the last frame
+		{"s": {ms(10), ms(1000)}},  // horizon error must win over placement
+		{"s": {ms(150), ms(1000)}}, // horizon error must win over late window
+		{"ghost": {ms(10)}},        // unknown process
+		{"u": {ms(10)}},            // periodic process cannot take events
+	}
+	for i, events := range cases {
+		_, gotErr := PlanInvocations(tg, 2, events)
+		_, wantErr := planInvocationsReference(tg, 2, events)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("case %d: expected both engines to reject %v (plan %v, reference %v)",
+				i, events, gotErr, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("case %d: error text mismatch:\nplan:      %v\nreference: %v",
+				i, gotErr, wantErr)
+		}
+	}
+}
+
+// pipelineSporadicNet is the 3-stage pipeline chain of pipeline_test.go
+// plus a sporadic configurator feeding the middle stage. The priority
+// direction selects the Fig. 2 boundary rule: S→B gives the right-closed
+// window (b−T', b], B→S the left-closed [b−T', b).
+func pipelineSporadicNet(sporadicFirst bool) *core.Network {
+	net := core.NewNetwork("pipe-sporadic")
+	var prev string
+	for i := 0; i < 3; i++ {
+		name := string(rune('A' + i))
+		net.AddPeriodic(name, ms(100), ms(300), ms(40), core.BehaviorFunc(func(ctx *core.JobContext) error {
+			sum := int(ctx.K())
+			for _, in := range ctx.Inputs() {
+				if v, ok := ctx.Read(in); ok {
+					sum += v.(int)
+				}
+			}
+			for _, out := range ctx.Outputs() {
+				ctx.Write(out, sum)
+			}
+			for _, ext := range ctx.ExternalOutputs() {
+				ctx.WriteOutput(ext, sum)
+			}
+			return nil
+		}))
+		if prev != "" {
+			net.Connect(prev, name, prev+name, core.FIFO)
+			net.Priority(prev, name)
+		}
+		prev = name
+	}
+	net.AddSporadic("S", 1, ms(100), ms(150), ms(5), &stamper{})
+	net.ConnectInit("S", "B", "cfg", 0)
+	if sporadicFirst {
+		net.Priority("S", "B")
+	} else {
+		net.Priority("B", "S")
+	}
+	net.Output("C", "OUT")
+	return net
+}
+
+// TestPipelinedSporadicStraddlingFrames runs the pipelined engine with
+// sporadic events on and around the 100 ms hyperperiod boundary under both
+// window rules. An event exactly at a boundary b is handled in the window
+// ending at b under (b−T', b] but pushed into the next frame's window under
+// [b−T', b). The compiled engine must match the reference engine
+// byte-for-byte, and — Proposition 4.1 — both the pipelined and the
+// non-pipelined runs must reproduce the zero-delay outputs.
+func TestPipelinedSporadicStraddlingFrames(t *testing.T) {
+	const frames = 6
+	// 100 ms is exactly the frame boundary between frames 0 and 1; 201 ms
+	// and 350 ms fall inside later frames. Spacing stays ≥ T' = 100 ms so
+	// the burst-1 sporadic constraint holds.
+	events := map[string][]Time{"S": {ms(100), ms(201), ms(350)}}
+
+	for _, tc := range []struct {
+		name          string
+		sporadicFirst bool
+	}{
+		{"right-closed (b-T', b]", true},
+		{"left-closed [b-T', b)", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := pipelineSporadicNet(tc.sporadicFirst)
+			tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{DeadlineSlack: ms(200)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sched.PipelineSchedule(tg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := Config{Frames: frames, Pipelined: true, SporadicEvents: events}
+			got, err := Run(s, cfg)
+			if err != nil {
+				t.Fatalf("compiled pipelined run: %v", err)
+			}
+			want, err := RunReference(s, cfg)
+			if err != nil {
+				t.Fatalf("reference pipelined run: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("compiled pipelined report diverges from reference: %s",
+					diffReports(got, want))
+			}
+
+			// The same schedule run frame-at-a-time is the sequential
+			// reference: pipelining may only change timing, never data.
+			seq, err := RunReference(s, Config{Frames: frames, SporadicEvents: events})
+			if err != nil {
+				t.Fatalf("non-pipelined reference run: %v", err)
+			}
+			if !core.SamplesEqual(seq.Outputs, got.Outputs) {
+				t.Errorf("pipelined outputs diverge from the non-pipelined run: %s",
+					core.DiffSamples(seq.Outputs, got.Outputs))
+			}
+
+			ref, err := core.RunZeroDelay(net, tg.Hyperperiod.MulInt(frames), core.ZeroDelayOptions{
+				SporadicEvents: events,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !core.SamplesEqual(ref.Outputs, got.Outputs) {
+				t.Errorf("pipelined run diverges from zero-delay: %s",
+					core.DiffSamples(ref.Outputs, got.Outputs))
+			}
+		})
+	}
+}
+
+// diffReports names the first field in which two reports differ.
+func diffReports(a, b *Report) string {
+	switch {
+	case !reflect.DeepEqual(a.Entries, b.Entries):
+		return fmt.Sprintf("Entries differ: %d vs %d", len(a.Entries), len(b.Entries))
+	case !reflect.DeepEqual(a.Misses, b.Misses):
+		return fmt.Sprintf("Misses differ: %v vs %v", a.Misses, b.Misses)
+	case !reflect.DeepEqual(a.Skipped, b.Skipped):
+		return fmt.Sprintf("Skipped differ: %v vs %v", a.Skipped, b.Skipped)
+	case !reflect.DeepEqual(a.Outputs, b.Outputs):
+		return "Outputs differ: " + core.DiffSamples(a.Outputs, b.Outputs)
+	case !reflect.DeepEqual(a.Channels, b.Channels):
+		return "Channels differ"
+	case !a.Makespan.Equal(b.Makespan):
+		return fmt.Sprintf("Makespan %v vs %v", a.Makespan, b.Makespan)
+	default:
+		return "reports differ in an unnamed field"
+	}
+}

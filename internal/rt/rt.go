@@ -21,10 +21,12 @@
 // meets all deadlines and implements the real-time semantics of the FPPN —
 // which package tests verify against the zero-delay reference executor.
 //
-// Two runners are provided: Run, an exact discrete-event computation of the
-// policy, and RunConcurrent, which executes one goroutine per processor
-// against a virtual clock, demonstrating determinism under genuinely
-// concurrent execution.
+// The engines themselves live in internal/plan: Run and RunConcurrent are
+// thin compile-then-run facades over plan.Compile, kept for the existing
+// string-keyed callers. Repeated-execution callers should compile once and
+// reuse the Plan. RunReference and RunConcurrentReference retain the
+// original map-based implementations verbatim as differential-testing
+// oracles for the compiled engines.
 package rt
 
 import (
@@ -32,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/rational"
 	"repro/internal/sched"
@@ -42,104 +45,61 @@ import (
 type Time = rational.Rat
 
 // Config parameterizes a runtime execution.
-type Config struct {
-	// Frames is the number of hyperperiod frames to execute (>= 1).
-	Frames int
-	// SporadicEvents maps sporadic process names to absolute event time
-	// stamps over the whole run ([0, Frames·H)).
-	SporadicEvents map[string][]Time
-	// Exec yields actual execution times; nil means WCET.
-	Exec platform.ExecModel
-	// Overhead is the frame-management overhead model.
-	Overhead platform.OverheadModel
-	// Inputs supplies external input samples (indexed by invocation count
-	// across the whole run).
-	Inputs map[string][]core.Value
-	// RecordTrace enables action-trace recording in the data machine.
-	RecordTrace bool
-	// Pipelined executes overlapping frames: jobs of frame f+1 may start
-	// while frame f's tail is still running on other processors, with
-	// cross-frame precedence enforced between related processes. Use
-	// with schedules derived with a DeadlineSlack and validated by
-	// sched.ValidatePipelined. Only Run supports it; RunConcurrent
-	// rejects it.
-	Pipelined bool
-}
+type Config = plan.Config
 
 // Miss is a deadline violation observed at run time.
-type Miss struct {
-	Job      *taskgraph.Job
-	Frame    int
-	Finish   Time // absolute completion time
-	Deadline Time // absolute required time fH + D_i
-}
-
-func (m Miss) String() string {
-	return fmt.Sprintf("frame %d: %s finished %v > deadline %v (late by %v)",
-		m.Frame, m.Job.Name(), m.Finish, m.Deadline, m.Finish.Sub(m.Deadline))
-}
+type Miss = plan.Miss
 
 // Skip records a server job marked false (no corresponding sporadic event).
-type Skip struct {
-	Job   *taskgraph.Job
-	Frame int
-}
+type Skip = plan.Skip
 
 // Report is the outcome of a runtime execution.
-type Report struct {
-	Schedule *sched.Schedule
-	Frames   int
-	// Entries holds the executed intervals with absolute times.
-	Entries []sched.GanttEntry
-	// Misses lists deadline violations in completion order.
-	Misses []Miss
-	// Skipped lists false-marked server jobs.
-	Skipped []Skip
-	// Outputs are the external output samples produced.
-	Outputs map[string][]core.Sample
-	// Channels is the final internal channel state.
-	Channels map[string][]core.Value
-	// Trace is the recorded action trace (if enabled).
-	Trace core.Trace
-	// Makespan is the absolute completion time of the last job.
-	Makespan Time
-	// MaxLateness is the largest positive (finish − deadline), or zero.
-	MaxLateness Time
-}
-
-// Gantt renders the executed intervals over the full run horizon.
-func (r *Report) Gantt(width int) string {
-	horizon := r.Schedule.TG.Hyperperiod.MulInt(int64(r.Frames))
-	return sched.GanttChart(r.Entries, r.Schedule.M, horizon, width)
-}
-
-// Summary formats the headline numbers of the run.
-func (r *Report) Summary() string {
-	return fmt.Sprintf("%d frames on %d processors: %d intervals, %d deadline misses, %d skipped server jobs, makespan %v s",
-		r.Frames, r.Schedule.M, len(r.Entries), len(r.Misses), len(r.Skipped), r.Makespan)
-}
+type Report = plan.Report
 
 // JobPlan carries the resolved synchronize-invocation outcome for one job
 // instance in one frame.
-type JobPlan struct {
-	// Ready is the absolute time the invocation synchronization
-	// completes: the event time for invoked sporadic jobs (possibly
-	// before A_i), fH + A_i for periodic jobs and for false jobs.
-	Ready Time
-	// Skip marks a false server job.
-	Skip bool
-	// EventIndex is, for executed server jobs, the 1-based position of
-	// the corresponding sporadic event in the process's time-ordered
-	// event sequence (0 for periodic jobs and skips). The generated
-	// timed-automata system guards server-job execution on the event
-	// counter reaching this value.
-	EventIndex int
-}
+type JobPlan = plan.JobPlan
+
+// Plan is a compiled execution plan; see plan.Compile.
+type Plan = plan.Plan
+
+// Compile lowers a static schedule into a reusable execution plan.
+func Compile(s *sched.Schedule) (*Plan, error) { return plan.Compile(s) }
 
 // PlanInvocations maps every (frame, job) instance to its invocation
 // outcome, distributing sporadic events to server subsets per the boundary
 // rules of Fig. 2. The result is indexed [frame][job index].
 func PlanInvocations(tg *taskgraph.TaskGraph, frames int, events map[string][]Time) ([][]JobPlan, error) {
+	return plan.PlanInvocations(tg, frames, events)
+}
+
+// Run executes the static-order policy as an exact discrete-event
+// computation and returns the full report. It compiles the schedule on
+// every call; callers running the same schedule repeatedly should use
+// Compile + Plan.Run.
+func Run(s *sched.Schedule, cfg Config) (*Report, error) {
+	p, err := plan.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(cfg)
+}
+
+// RunConcurrent executes the static-order policy with one goroutine per
+// processor. Functionally it is equivalent to Run; timing-wise it produces
+// the same start/finish instants in virtual time. See Plan.RunConcurrent.
+func RunConcurrent(s *sched.Schedule, cfg Config) (*Report, error) {
+	p, err := plan.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunConcurrent(cfg)
+}
+
+// planInvocationsReference is the original string-keyed invocation planner,
+// retained verbatim as the oracle for the compiled boundary-index tables:
+// it rebuilds windowed maps keyed by boundary Time strings per run.
+func planInvocationsReference(tg *taskgraph.TaskGraph, frames int, events map[string][]Time) ([][]JobPlan, error) {
 	h := tg.Hyperperiod
 	horizon := h.MulInt(int64(frames))
 
@@ -273,9 +233,11 @@ func combinedOrder(s *sched.Schedule) ([]int, error) {
 	return order, nil
 }
 
-// Run executes the static-order policy as an exact discrete-event
-// computation and returns the full report.
-func Run(s *sched.Schedule, cfg Config) (*Report, error) {
+// RunReference is the original string-keyed discrete-event engine, retained
+// verbatim as the differential-testing oracle for Plan.Run: invocation
+// planning through windowed maps, machine access through process names, and
+// a run-global data pass.
+func RunReference(s *sched.Schedule, cfg Config) (*Report, error) {
 	tg := s.TG
 	if cfg.Frames < 1 {
 		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
@@ -284,7 +246,7 @@ func Run(s *sched.Schedule, cfg Config) (*Report, error) {
 	if exec == nil {
 		exec = platform.WCETExec()
 	}
-	invs, err := PlanInvocations(tg, cfg.Frames, cfg.SporadicEvents)
+	invs, err := planInvocationsReference(tg, cfg.Frames, cfg.SporadicEvents)
 	if err != nil {
 		return nil, err
 	}

@@ -362,9 +362,13 @@ func TestTransitiveReductionProperty(t *testing.T) {
 				}
 			}
 		}
-		reduced := transitiveReduction(succ, 1)
-		if par := transitiveReduction(succ, 4); !reflect.DeepEqual(par, reduced) {
+		reduced, seqDesc := transitiveReduction(succ, 1)
+		par, parDesc := transitiveReduction(succ, 4)
+		if !reflect.DeepEqual(par, reduced) {
 			t.Fatalf("trial %d: parallel reduction differs from sequential", trial)
+		}
+		if !reflect.DeepEqual(parDesc, seqDesc) {
+			t.Fatalf("trial %d: parallel descendant bitsets differ from sequential", trial)
 		}
 		if len(closure(succ)) != len(closure(reduced)) {
 			t.Fatalf("trial %d: reduction changed the closure", trial)
