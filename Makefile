@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet vet-custom race fuzz bench bench-json experiments golden-update lint-golden-update
+.PHONY: all build test vet vet-custom race fuzz bench bench-json bench-compare experiments golden-update lint-golden-update
 
 all: build vet vet-custom test
 
@@ -30,6 +30,8 @@ fuzz:
 	$(GO) test ./internal/rational -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -fuzz FuzzNetworkValidate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lint -fuzz FuzzLintNeverPanics -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzPlanMatchesZeroDelay -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzListScheduleMatchesReference -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
@@ -39,6 +41,12 @@ bench:
 # performance tables cite this file.
 bench-json:
 	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -o BENCH_fppn.json
+
+# Regression gate: rerun the benchmarks and diff ns/op against the
+# committed record; exits nonzero when any benchmark is more than 25%
+# slower than BENCH_fppn.json (tune with -threshold).
+bench-compare:
+	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_fppn.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -7,11 +7,21 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson [-o BENCH_fppn.json]
+//	go test -bench . -run '^$' ./... | benchjson -compare BENCH_fppn.json [-threshold 25]
 //
 // Lines that are not benchmark results (package headers, PASS/ok trailers)
 // are ignored. The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so
-// the keys are stable across machines. Exit status: 0 on success, 1 if the
-// input contains no benchmark results or the output cannot be written.
+// the keys are stable across machines.
+//
+// With -compare, the fresh results are diffed against a previously recorded
+// JSON document: a per-benchmark table of old/new ns/op and the relative
+// delta goes to stderr, and any benchmark slower than the baseline by more
+// than -threshold percent makes the run fail. Benchmarks present on only
+// one side are listed informationally and never fail the comparison.
+//
+// Exit status: 0 on success, 1 if the input contains no benchmark results
+// or the output cannot be written, 2 if -compare found regressions beyond
+// the threshold.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -76,8 +87,55 @@ func parseLine(line string) (name string, r Result, ok bool) {
 	return name, r, true
 }
 
+// compareResults diffs fresh results against a recorded baseline, writing a
+// per-benchmark ns/op table to w. A benchmark regresses when its ns/op
+// exceeds the baseline by more than threshold percent; the count of such
+// regressions is returned. Benchmarks on only one side never count.
+func compareResults(w io.Writer, baseline, fresh map[string]Result, threshold float64) int {
+	names := make([]string, 0, len(baseline)+len(fresh))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	for n := range fresh {
+		if _, ok := baseline[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	wide := 0
+	for _, n := range names {
+		if len(n) > wide {
+			wide = len(n)
+		}
+	}
+	regressions := 0
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %9s\n", wide, "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range names {
+		old, haveOld := baseline[n]
+		cur, haveNew := fresh[n]
+		switch {
+		case !haveNew:
+			fmt.Fprintf(w, "%-*s  %14.1f  %14s  %9s\n", wide, n, old.NsPerOp, "-", "removed")
+		case !haveOld:
+			fmt.Fprintf(w, "%-*s  %14s  %14.1f  %9s\n", wide, n, "-", cur.NsPerOp, "new")
+		default:
+			delta := 100 * (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-*s  %14.1f  %14.1f  %+8.1f%%%s\n", wide, n, old.NsPerOp, cur.NsPerOp, delta, mark)
+		}
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to diff against; regressions beyond -threshold fail the run")
+	threshold := flag.Float64("threshold", 25, "allowed ns/op regression over the -compare baseline, in percent")
 	flag.Parse()
 
 	results := make(map[string]Result)
@@ -112,11 +170,32 @@ func main() {
 	}
 	data = append(data, '\n')
 
-	if *out == "" {
+	if *out == "" && *compare == "" {
 		os.Stdout.Write(data)
-	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	} else if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(names))
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		baseline := make(map[string]Result)
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if n := compareResults(os.Stderr, baseline, results, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% over %s\n",
+				n, *threshold, *compare)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% over %s\n", *threshold, *compare)
+	}
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	name, r, ok := parseLine("BenchmarkFig1ZeroDelay-8   \t39511\t  30025 ns/op\t   20152 B/op\t     243 allocs/op")
@@ -28,6 +31,46 @@ func TestParseLineNoBenchmem(t *testing.T) {
 	}
 	if r.NsPerOp != 12.5 || r.BytesPerOp != nil || r.AllocsPerOp != nil {
 		t.Fatalf("want null memory metrics without -benchmem, got %+v", r)
+	}
+}
+
+func TestCompareResultsFlagsRegressions(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkFast":    {NsPerOp: 1000},
+		"BenchmarkSlow":    {NsPerOp: 1000},
+		"BenchmarkRemoved": {NsPerOp: 500},
+	}
+	fresh := map[string]Result{
+		"BenchmarkFast": {NsPerOp: 400},  // improvement
+		"BenchmarkSlow": {NsPerOp: 1500}, // +50%: beyond a 25% threshold
+		"BenchmarkNew":  {NsPerOp: 123},
+	}
+	var sb strings.Builder
+	if n := compareResults(&sb, baseline, fresh, 25); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkSlow", "REGRESSION", "+50.0%", // the regression, marked
+		"-60.0%",  // the improvement, unmarked
+		"new",     // BenchmarkNew is informational
+		"removed", // BenchmarkRemoved is informational
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("exactly one REGRESSION mark expected:\n%s", out)
+	}
+}
+
+func TestCompareResultsWithinThreshold(t *testing.T) {
+	baseline := map[string]Result{"BenchmarkX": {NsPerOp: 1000}}
+	fresh := map[string]Result{"BenchmarkX": {NsPerOp: 1200}} // +20% under 25%
+	var sb strings.Builder
+	if n := compareResults(&sb, baseline, fresh, 25); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, sb.String())
 	}
 }
 

@@ -1,0 +1,152 @@
+// Differential harness for the event-driven list scheduler: on every input
+// the integer-timescale engine (sched.ListSchedule) must reproduce the
+// rational-rescan reference (sched.ListScheduleReference) exactly — the
+// same processor assignments, the same start times, the same tie-breaks —
+// and the integer-timescale feasibility checker must reach the same
+// verdict as its rational oracle. Checked on the three paper applications
+// and on a corpus of random networks, for every heuristic and a sweep of
+// processor counts.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/fft"
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+	"repro/internal/nettest"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// assertSchedulePair runs both engines on (tg, m, h) and fails unless the
+// schedules are deep-equal and the feasibility verdicts coincide.
+func assertSchedulePair(t *testing.T, tg *taskgraph.TaskGraph, m int, h sched.Heuristic) {
+	t.Helper()
+	got, gotErr := sched.ListSchedule(tg, m, h)
+	want, wantErr := sched.ListScheduleReference(tg, m, h)
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("m=%d h=%v: error mismatch: event-driven %v, reference %v", m, h, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("m=%d h=%v: error text mismatch:\nevent-driven: %v\nreference:    %v",
+				m, h, gotErr, wantErr)
+		}
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range want.Assign {
+			if !reflect.DeepEqual(got.Assign[i], want.Assign[i]) {
+				t.Fatalf("m=%d h=%v: job %s placed at (proc %d, start %v), reference (proc %d, start %v)",
+					m, h, tg.Jobs[i].Name(),
+					got.Assign[i].Proc, got.Assign[i].Start,
+					want.Assign[i].Proc, want.Assign[i].Start)
+			}
+		}
+		t.Fatalf("m=%d h=%v: schedules diverge outside assignments", m, h)
+	}
+	gotV, wantV := got.Validate(), want.ValidateReference()
+	if (gotV == nil) != (wantV == nil) {
+		t.Fatalf("m=%d h=%v: validation verdict mismatch: integer %v, rational %v", m, h, gotV, wantV)
+	}
+	if gotV != nil && gotV.Error() != wantV.Error() {
+		t.Fatalf("m=%d h=%v: validation text mismatch:\ninteger:  %v\nrational: %v", m, h, gotV, wantV)
+	}
+}
+
+// TestSchedDifferentialPaperApps pins the event-driven scheduler to the
+// reference on the three applications of the paper, across every heuristic
+// and processor counts from serialized (m=1, where deadline misses are
+// expected and both validators must report them identically) up to the
+// paper's platform size.
+func TestSchedDifferentialPaperApps(t *testing.T) {
+	apps := []struct {
+		name  string
+		build func() *core.Network
+	}{
+		{"signal", signal.New},
+		{"fft", fft.New},
+		{"fft-overhead", fft.NewWithOverheadJob},
+		{"fms", fms.New},
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			t.Parallel()
+			tg, err := taskgraph.Derive(app.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range sched.Heuristics {
+				for m := 1; m <= 3; m++ {
+					assertSchedulePair(t, tg, m, h)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedDifferentialRandomNetworks sweeps ≥50 random networks through
+// both engines for every heuristic at three processor counts: serialized,
+// contended, and one processor per job.
+func TestSchedDifferentialRandomNetworks(t *testing.T) {
+	trials := trialCount(t, 50)
+	rng := rand.New(rand.NewSource(1337))
+	for trial := 0; trial < trials; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		trial := trial
+		t.Run(fmt.Sprintf("net%03d", trial), func(t *testing.T) {
+			t.Parallel()
+			tg, err := taskgraph.Derive(net)
+			if err != nil {
+				t.Skip() // generator produced a non-schedulable corner case
+			}
+			for _, h := range sched.Heuristics {
+				for _, m := range []int{1, 2, len(tg.Jobs)} {
+					assertSchedulePair(t, tg, m, h)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedDifferentialPortfolioWorkers checks that the shared-precompute
+// portfolio fan-out (workers != 1) returns lane-for-lane the same results
+// as the self-contained sequential execution (workers == 1).
+func TestSchedDifferentialPortfolioWorkers(t *testing.T) {
+	tg, err := taskgraph.Derive(fms.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 3} {
+		ref := sched.RunPortfolio(tg, m, sched.PortfolioOptions{Workers: 1})
+		for _, w := range []int{0, 2, 3, 8} {
+			got := sched.RunPortfolio(tg, m, sched.PortfolioOptions{Workers: w})
+			if len(got) != len(ref) {
+				t.Fatalf("m=%d workers=%d: %d lanes, sequential has %d", m, w, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i].Heuristic != ref[i].Heuristic || got[i].Feasible != ref[i].Feasible {
+					t.Fatalf("m=%d workers=%d lane %d: (%v feasible=%t), sequential (%v feasible=%t)",
+						m, w, i, got[i].Heuristic, got[i].Feasible, ref[i].Heuristic, ref[i].Feasible)
+				}
+				if (got[i].Err == nil) != (ref[i].Err == nil) {
+					t.Fatalf("m=%d workers=%d lane %d: err %v, sequential %v", m, w, i, got[i].Err, ref[i].Err)
+				}
+				if got[i].Err != nil && got[i].Err.Error() != ref[i].Err.Error() {
+					t.Fatalf("m=%d workers=%d lane %d: err text %q, sequential %q",
+						m, w, i, got[i].Err, ref[i].Err)
+				}
+				if ref[i].Schedule != nil && !reflect.DeepEqual(got[i].Schedule.Assign, ref[i].Schedule.Assign) {
+					t.Fatalf("m=%d workers=%d lane %d (%v): schedule differs from sequential",
+						m, w, i, ref[i].Heuristic)
+				}
+			}
+		}
+	}
+}

@@ -314,6 +314,69 @@ func LcmAllCached(values []Rat) Rat {
 	return acc
 }
 
+// Scale maps a family of rationals onto a shared integer timescale: every
+// value becomes a whole number of ticks of length 1/den. The compile-time
+// schedulers lower all arrivals, deadlines and WCETs through one Scale so
+// the event loop compares and adds int64 ticks instead of normalizing
+// rationals. The zero value is the degenerate 1-tick-per-unit scale.
+type Scale struct {
+	den int64
+}
+
+// CommonScale returns the coarsest Scale that represents every value in
+// every group exactly: den is the least common multiple of all
+// denominators. ok is false when that LCM overflows int64, in which case
+// callers should fall back to rational arithmetic.
+func CommonScale(groups ...[]Rat) (Scale, bool) {
+	den := int64(1)
+	for _, g := range groups {
+		for _, r := range g {
+			d := r.Den()
+			g2 := gcd64(den, d)
+			next, ok := mulOK(den/g2, d)
+			if !ok {
+				return Scale{}, false
+			}
+			den = next
+		}
+	}
+	return Scale{den: den}, true
+}
+
+// Den returns the ticks-per-unit denominator of the scale.
+func (s Scale) Den() int64 {
+	if s.den == 0 {
+		return 1
+	}
+	return s.den
+}
+
+// Ticks converts r to tick units: r * den. ok is false when r is not an
+// exact multiple of a tick or the product overflows.
+func (s Scale) Ticks(r Rat) (int64, bool) {
+	r = r.normalized()
+	den := s.Den()
+	if den%r.den != 0 {
+		return 0, false
+	}
+	return mulOK(r.num, den/r.den)
+}
+
+// FromTicks converts t ticks back to the exact rational t/den.
+func (s Scale) FromTicks(t int64) Rat { return New(t, s.Den()) }
+
+// mulOK is mulChecked without the panic: it reports overflow instead.
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
 // String formats r as "n" for integers and "n/d" otherwise.
 func (r Rat) String() string {
 	r = r.normalized()

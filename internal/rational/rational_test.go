@@ -486,3 +486,63 @@ func TestLcmAllCached(t *testing.T) {
 		}
 	}
 }
+
+func TestCommonScaleExactTicks(t *testing.T) {
+	t.Parallel()
+	sc, ok := CommonScale(
+		[]Rat{Milli(250), New(1, 3)},
+		[]Rat{New(7, 4), FromInt(2), {}}, // zero value counts as 0/1
+	)
+	if !ok {
+		t.Fatal("CommonScale overflowed on millisecond-scale inputs")
+	}
+	if sc.Den() != 12 {
+		t.Fatalf("Den = %d, want lcm(4,3,4,1,1) = 12", sc.Den())
+	}
+	for _, r := range []Rat{Milli(250), New(1, 3), New(7, 4), FromInt(2), Zero, New(-5, 6)} {
+		ticks, ok := sc.Ticks(r)
+		if !ok {
+			t.Fatalf("Ticks(%v) not exact at den %d", r, sc.Den())
+		}
+		if back := sc.FromTicks(ticks); !back.Equal(r) {
+			t.Fatalf("FromTicks(Ticks(%v)) = %v", r, back)
+		}
+		// Round trip must reproduce the normalized struct exactly, because
+		// differential tests deep-equal schedules built on either timescale.
+		if back := sc.FromTicks(ticks); back != r.normalized() {
+			t.Fatalf("FromTicks(Ticks(%v)) = %#v, want normalized %#v", r, back, r.normalized())
+		}
+	}
+}
+
+func TestCommonScaleZeroValueScale(t *testing.T) {
+	t.Parallel()
+	var sc Scale // zero value: integer timescale
+	if sc.Den() != 1 {
+		t.Fatalf("zero-value Den = %d", sc.Den())
+	}
+	if ticks, ok := sc.Ticks(FromInt(41)); !ok || ticks != 41 {
+		t.Fatalf("Ticks(41) = %d, %v", ticks, ok)
+	}
+	if _, ok := sc.Ticks(New(1, 2)); ok {
+		t.Fatal("half-unit value claimed exact on the integer scale")
+	}
+}
+
+func TestCommonScaleOverflow(t *testing.T) {
+	t.Parallel()
+	// Pairwise-coprime huge denominators force the LCM past int64.
+	huge := []Rat{New(1, math.MaxInt64), New(1, math.MaxInt64-1), New(1, math.MaxInt64-2)}
+	if _, ok := CommonScale(huge); ok {
+		t.Fatal("CommonScale did not report overflow")
+	}
+	// A representable scale whose tick conversion overflows for a large
+	// numerator must fail in Ticks, not panic.
+	sc, ok := CommonScale([]Rat{New(1, 1 << 20)})
+	if !ok {
+		t.Fatal("small scale rejected")
+	}
+	if _, ok := sc.Ticks(FromInt(math.MaxInt64 / 2)); ok {
+		t.Fatal("Ticks did not report numerator overflow")
+	}
+}

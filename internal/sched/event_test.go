@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// chainGraph hand-builds a three-job task graph A -> B, C independent, all
+// arriving at 0 with 100 ms deadlines. Hand-built graphs bypass
+// core.ValidateSchedulable, so they can probe corner cases derivation never
+// produces (zero WCETs, corrupt assignments).
+func chainGraph(wcetA Time) *taskgraph.TaskGraph {
+	mk := func(i int, name string, wcet Time) *taskgraph.Job {
+		return &taskgraph.Job{
+			Index: i, Proc: name, K: 1,
+			Arrival:  rational.Zero,
+			Deadline: ms(100),
+			WCET:     wcet,
+		}
+	}
+	return &taskgraph.TaskGraph{
+		Hyperperiod: ms(100),
+		Jobs:        []*taskgraph.Job{mk(0, "A", wcetA), mk(1, "B", ms(10)), mk(2, "C", ms(10))},
+		Succ:        [][]int{{1}, {}, {}},
+		Pred:        [][]int{{}, {0}, {}},
+	}
+}
+
+// TestStallErrorMatchesReference drives both engines into the stalled
+// branch: a zero-WCET predecessor completes at the very instant it starts,
+// so its successor becomes ready at a non-future instant and no engine may
+// advance. Both must fail with the identical diagnostic.
+func TestStallErrorMatchesReference(t *testing.T) {
+	tg := chainGraph(rational.Zero) // A completes at its own start instant
+	for _, h := range Heuristics {
+		_, gotErr := ListSchedule(tg, 1, h)
+		_, wantErr := ListScheduleReference(tg, 1, h)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("%v: expected both engines to stall, got event-driven %v, reference %v",
+				h, gotErr, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Errorf("%v: stall text mismatch:\nevent-driven: %v\nreference:    %v", h, gotErr, wantErr)
+		}
+		if !strings.Contains(gotErr.Error(), "stalled") {
+			t.Errorf("%v: stall error %q does not mention stalling", h, gotErr)
+		}
+	}
+}
+
+// TestListScheduleLoweringFallback: when the job parameters do not fit a
+// shared int64 denominator, ListSchedule transparently falls back to the
+// rational reference engine and still produces its exact schedule.
+func TestListScheduleLoweringFallback(t *testing.T) {
+	tg := chainGraph(ms(10))
+	// Coprime near-2^40 denominators force the common denominator past
+	// int64, so newPrecomp must refuse the lowering.
+	tg.Jobs[1].WCET = rational.New(1, 1<<40)
+	tg.Jobs[2].WCET = rational.New(1, (1<<40)-1)
+	if pc := newPrecomp(tg); pc.ok {
+		t.Fatal("lowering unexpectedly succeeded for coprime 2^40 denominators")
+	}
+	got, err := ListSchedule(tg, 2, ALAPEDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ListScheduleReference(tg, 2, ALAPEDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("fallback schedule differs from reference")
+	}
+	if err := got.Validate(); err != nil { // Validate falls back too
+		t.Errorf("fallback schedule rejected: %v", err)
+	}
+}
+
+// validatePair runs the integer-timescale checker and its rational oracle
+// on the same schedule and fails unless they produce the same verdict with
+// the same text.
+func validatePair(t *testing.T, s *Schedule, wantSubstr string) {
+	t.Helper()
+	got, want := s.Validate(), s.ValidateReference()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("verdict mismatch: integer %v, rational %v", got, want)
+	}
+	if got == nil {
+		if wantSubstr != "" {
+			t.Fatalf("expected a %q violation, both validators accepted", wantSubstr)
+		}
+		return
+	}
+	if got.Error() != want.Error() {
+		t.Fatalf("violation text mismatch:\ninteger:  %v\nrational: %v", got, want)
+	}
+	if !strings.Contains(got.Error(), wantSubstr) {
+		t.Fatalf("violation %q does not mention %q", got, wantSubstr)
+	}
+}
+
+// TestValidateViolationClassesIntegerTimescale constructs one corrupt
+// schedule per Definition 3.2 violation class and checks that the
+// integer-timescale Validate rejects each with exactly the rational
+// oracle's diagnostic.
+func TestValidateViolationClassesIntegerTimescale(t *testing.T) {
+	tg := chainGraph(ms(10))
+	tg.Jobs[1].Arrival = ms(5) // so a start below 5 is an arrival violation
+	base := func() *Schedule {
+		return &Schedule{TG: tg, M: 2, Assign: []Assignment{
+			{Proc: 0, Start: rational.Zero}, // A: [0, 10)
+			{Proc: 0, Start: ms(10)},        // B: [10, 20) after A
+			{Proc: 1, Start: rational.Zero}, // C: [0, 10) alone on P1
+		}}
+	}
+	validatePair(t, base(), "") // the uncorrupted schedule passes both
+
+	cases := []struct {
+		name    string
+		corrupt func(s *Schedule)
+		substr  string
+	}{
+		{"count", func(s *Schedule) { s.Assign = s.Assign[:2] }, "assignments"},
+		{"processor-range", func(s *Schedule) { s.Assign[0].Proc = 7 }, "processor 7 of 2"},
+		{"arrival", func(s *Schedule) { s.Assign[1].Start = ms(2); s.Assign[1].Proc = 1 }, "before arrival"},
+		{"deadline", func(s *Schedule) { s.Assign[2].Start = ms(95) }, "misses deadline"},
+		{"precedence", func(s *Schedule) { s.Assign[1].Start = ms(7); s.Assign[1].Proc = 1 }, "precedence A[1] -> B[1]"},
+		{"overlap", func(s *Schedule) { s.Assign[2].Start = ms(5); s.Assign[2].Proc = 0 }, "overlap on processor 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.corrupt(s)
+			validatePair(t, s, tc.substr)
+		})
+	}
+}
+
+// TestValidateFallbackOnUnscalableStart: a start time outside the safe tick
+// range routes Validate through ValidateReference; the verdict must match.
+func TestValidateFallbackOnUnscalableStart(t *testing.T) {
+	tg := chainGraph(ms(10))
+	s := &Schedule{TG: tg, M: 2, Assign: []Assignment{
+		{Proc: 0, Start: rational.New(1, 1<<41)}, // below any tick granularity
+		{Proc: 0, Start: ms(10)},
+		{Proc: 1, Start: rational.Zero},
+	}}
+	validatePair(t, s, "") // feasible: 1/2^41 > 0 = A's arrival, ends well before B
+}
+
+// TestMinProcessorsMaxBound covers both edges of the search interval: the
+// bound that admits a schedule exactly at max, and the bound below the
+// utilization lower bound, where the loop body never runs.
+func TestMinProcessorsMaxBound(t *testing.T) {
+	tg := fig3Graph(t) // load 3/2: infeasible on 1, feasible on 2
+	s, err := MinProcessors(tg, 2)
+	if err != nil {
+		t.Fatalf("feasible at the max bound rejected: %v", err)
+	}
+	if s.M != 2 {
+		t.Errorf("MinProcessors(2) used %d processors", s.M)
+	}
+	if _, err := MinProcessors(tg, 1); err == nil ||
+		!strings.Contains(err.Error(), "up to 1 processors") {
+		t.Errorf("max below the utilization bound: %v", err)
+	}
+}
+
+// TestFindFeasibleAllHeuristicsMiss: when every portfolio lane misses a
+// deadline, FindFeasible reports the failure and wraps the last lane's
+// validation error.
+func TestFindFeasibleAllHeuristicsMiss(t *testing.T) {
+	tg := fig3Graph(t)
+	_, err := FindFeasible(tg, 1) // load 3/2 > 1: every heuristic misses
+	if err == nil {
+		t.Fatal("uniprocessor schedule claimed feasible despite load 1.5")
+	}
+	if !strings.Contains(err.Error(), "no heuristic found a feasible schedule on 1 processors") {
+		t.Errorf("summary error missing: %v", err)
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("last lane's deadline miss not wrapped: %v", err)
+	}
+}

@@ -10,8 +10,13 @@ import (
 // PortfolioOptions tunes the schedule-priority portfolio race.
 type PortfolioOptions struct {
 	// Workers bounds the number of heuristics scheduled concurrently.
-	// 0 selects GOMAXPROCS; 1 forces the reference sequential execution.
-	// Every worker count produces identical results.
+	// 0 selects GOMAXPROCS; 1 forces the reference sequential execution,
+	// in which every lane runs the self-contained ListSchedule end to end.
+	// Any other value shares one per-graph precomputation (integer
+	// lowering, predecessor counts, ALAP times, b-levels, rank
+	// permutations) across all lanes before the fan-out, so the race
+	// scales with workers instead of re-deriving per heuristic. Every
+	// worker count produces identical results.
 	Workers int
 	// Heuristics overrides the portfolio membership and its tie-break
 	// order; nil means the package-level Heuristics list.
@@ -36,20 +41,66 @@ type HeuristicResult struct {
 // The task graph is read-only during scheduling, so lanes never interact;
 // results are collected positionally and are identical for every worker
 // count.
+//
+// Unless opts.Workers pins the reference sequential execution (1), the
+// per-graph work every lane needs — the memoized edge list, the integer
+// lowering, predecessor counts and the per-heuristic rank permutations —
+// is computed once before the fan-out and shared read-only, so each lane
+// runs only its own event loop and feasibility check.
 func RunPortfolio(tg *taskgraph.TaskGraph, m int, opts PortfolioOptions) []HeuristicResult {
 	hs := opts.Heuristics
 	if hs == nil {
 		hs = Heuristics
 	}
+	lane := func(h Heuristic, schedule func() (*Schedule, error)) HeuristicResult {
+		r := HeuristicResult{Heuristic: h}
+		s, err := schedule()
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Schedule = s
+		if err := s.Validate(); err != nil {
+			r.Err = err
+			return r
+		}
+		r.Feasible = true
+		return r
+	}
+	if opts.Workers == 1 {
+		results := make([]HeuristicResult, len(hs))
+		for i, h := range hs {
+			results[i] = lane(h, func() (*Schedule, error) { return ListSchedule(tg, m, h) })
+		}
+		return results
+	}
+	tg.Prewarm() // materialize the lazy edge list before concurrent readers
+	pc := newPrecomp(tg)
+	if !pc.ok {
+		results, _ := parallel.Map(nil, len(hs), opts.Workers, func(i int) (HeuristicResult, error) {
+			return lane(hs[i], func() (*Schedule, error) {
+				return ListScheduleReference(tg, m, hs[i])
+			}), nil
+		})
+		return results
+	}
+	ranks := make([][]int32, len(hs))
+	for i, h := range hs {
+		ranks[i] = pc.rankFor(h)
+	}
 	results, _ := parallel.Map(nil, len(hs), opts.Workers, func(i int) (HeuristicResult, error) {
 		r := HeuristicResult{Heuristic: hs[i]}
-		s, err := ListSchedule(tg, m, hs[i])
+		s, startT, err := pc.listScheduleTicks(m, hs[i], ranks[i])
 		if err != nil {
 			r.Err = err
 			return r, nil
 		}
 		r.Schedule = s
-		if err := s.Validate(); err != nil {
+		// The engine hands back the start instants on the shared
+		// timescale, so feasibility checking skips the re-lowering that
+		// Schedule.Validate would pay; validateTicks reaches the same
+		// verdict with the same diagnostics.
+		if err := pc.validateTicks(s, startT); err != nil {
 			r.Err = err
 			return r, nil
 		}

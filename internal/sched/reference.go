@@ -1,0 +1,159 @@
+package sched
+
+// The pre-event-driven list scheduler and feasibility checker, kept
+// verbatim as differential oracles (the same pattern as
+// core.RunZeroDelayReference and rt.RunReference): at every decision
+// instant the reference rescans every job for readiness, re-sorts the
+// ready list and linearly scans for the next event, all in exact rational
+// arithmetic. The event-driven engine in event.go must reproduce its
+// output — identical processor assignments, start times and tie-breaks —
+// on every input; internal/integration pins that with a differential
+// suite and a fuzz target.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// ListScheduleReference runs the list-scheduling simulation: at every
+// decision instant, each idle processor picks the highest-SP job that has
+// arrived and whose task-graph predecessors have all completed.
+func ListScheduleReference(tg *taskgraph.TaskGraph, m int, h Heuristic) (*Schedule, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("sched: %d processors", m)
+	}
+	n := len(tg.Jobs)
+	rank := priorities(tg, h)
+
+	procFree := make([]Time, m)
+	finish := make([]Time, n)
+	started := make([]bool, n)
+	assign := make([]Assignment, n)
+
+	t := rational.Zero
+	scheduled := 0
+	for scheduled < n {
+		// Jobs ready at time t: arrived, not yet placed, and with every
+		// task-graph predecessor completed by t (the list-scheduling
+		// extension of the classic readiness condition).
+		var ready []int
+		for i, j := range tg.Jobs {
+			if started[i] || t.Less(j.Arrival) {
+				continue
+			}
+			ok := true
+			for _, p := range tg.Pred[i] {
+				if !started[p] || t.Less(finish[p]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool { return rank[ready[a]] < rank[ready[b]] })
+
+		// Idle processors at time t, earliest-free first.
+		var idle []int
+		for p := range procFree {
+			if procFree[p].LessEq(t) {
+				idle = append(idle, p)
+			}
+		}
+
+		for len(idle) > 0 && len(ready) > 0 {
+			i := ready[0]
+			ready = ready[1:]
+			p := idle[0]
+			idle = idle[1:]
+			assign[i] = Assignment{Proc: p, Start: t}
+			started[i] = true
+			finish[i] = t.Add(tg.Jobs[i].WCET)
+			procFree[p] = finish[i]
+			scheduled++
+		}
+
+		if scheduled == n {
+			break
+		}
+
+		// Advance to the next decision instant: the earliest future
+		// event among processor releases, job arrivals, and
+		// predecessor completions.
+		next := Time{}
+		haveNext := false
+		consider := func(c Time) {
+			if t.Less(c) && (!haveNext || c.Less(next)) {
+				next = c
+				haveNext = true
+			}
+		}
+		for p := range procFree {
+			consider(procFree[p])
+		}
+		for i, j := range tg.Jobs {
+			if !started[i] {
+				consider(j.Arrival)
+			} else {
+				consider(finish[i])
+			}
+		}
+		if !haveNext {
+			return nil, fmt.Errorf("sched: scheduler stalled at %v with %d/%d jobs placed", t, scheduled, n)
+		}
+		t = next
+	}
+	return &Schedule{TG: tg, M: m, Assign: assign, Heuristic: h}, nil
+}
+
+// ValidateReference checks the feasibility constraints of Definition 3.2
+// in rational arithmetic — the pre-integer-timescale implementation, kept
+// as the oracle for Validate and as the fallback when a schedule's time
+// stamps cannot be lowered onto a shared integer timescale.
+func (s *Schedule) ValidateReference() error {
+	tg := s.TG
+	if len(s.Assign) != len(tg.Jobs) {
+		return fmt.Errorf("sched: %d assignments for %d jobs", len(s.Assign), len(tg.Jobs))
+	}
+	for i, j := range tg.Jobs {
+		a := s.Assign[i]
+		if a.Proc < 0 || a.Proc >= s.M {
+			return fmt.Errorf("sched: job %s mapped to processor %d of %d", j.Name(), a.Proc, s.M)
+		}
+		if a.Start.Less(j.Arrival) {
+			return fmt.Errorf("sched: job %s starts at %v before arrival %v", j.Name(), a.Start, j.Arrival)
+		}
+		if j.Deadline.Less(s.End(i)) {
+			return fmt.Errorf("sched: job %s misses deadline: ends %v > %v", j.Name(), s.End(i), j.Deadline)
+		}
+	}
+	for _, e := range tg.Edges() {
+		if s.Assign[e[1]].Start.Less(s.End(e[0])) {
+			return fmt.Errorf("sched: precedence %s -> %s violated",
+				tg.Jobs[e[0]].Name(), tg.Jobs[e[1]].Name())
+		}
+	}
+	// Mutual exclusion per processor.
+	byProc := make([][]int, s.M)
+	for i := range tg.Jobs {
+		p := s.Assign[i].Proc
+		byProc[p] = append(byProc[p], i)
+	}
+	for p, jobs := range byProc {
+		sort.Slice(jobs, func(a, b int) bool {
+			return s.Assign[jobs[a]].Start.Less(s.Assign[jobs[b]].Start)
+		})
+		for i := 1; i < len(jobs); i++ {
+			prev, cur := jobs[i-1], jobs[i]
+			if s.Assign[cur].Start.Less(s.End(prev)) {
+				return fmt.Errorf("sched: jobs %s and %s overlap on processor %d",
+					tg.Jobs[prev].Name(), tg.Jobs[cur].Name(), p)
+			}
+		}
+	}
+	return nil
+}

@@ -109,42 +109,80 @@ func (s *Schedule) Misses() []Miss {
 //	deadline:         e_i <= D_i
 //	precedence:       (J_i, J_j) ∈ E ⇒ e_i <= s_j
 //	mutual exclusion: µ_i = µ_j ⇒ e_i <= s_j ∨ e_j <= s_i
+//
+// The checks run on the shared integer timescale of the task graph and
+// the schedule's start times: one lowering pass, then pure int64
+// comparisons. Checking the transitively reduced successor lists suffices
+// for the full precedence relation — the reduction's reachability sweep
+// guarantees every removed edge is implied by a kept chain, and e_i <= s_j
+// composes along chains. Schedules whose time stamps do not fit a common
+// denominator fall back to ValidateReference; a differential suite holds
+// the two implementations to the same verdicts.
 func (s *Schedule) Validate() error {
 	tg := s.TG
-	if len(s.Assign) != len(tg.Jobs) {
-		return fmt.Errorf("sched: %d assignments for %d jobs", len(s.Assign), len(tg.Jobs))
+	n := len(tg.Jobs)
+	if len(s.Assign) != n {
+		return fmt.Errorf("sched: %d assignments for %d jobs", len(s.Assign), n)
 	}
+	vals := make([]rational.Rat, 0, 4*n)
 	for i, j := range tg.Jobs {
-		a := s.Assign[i]
-		if a.Proc < 0 || a.Proc >= s.M {
-			return fmt.Errorf("sched: job %s mapped to processor %d of %d", j.Name(), a.Proc, s.M)
+		vals = append(vals, j.Arrival, j.WCET, j.Deadline, s.Assign[i].Start)
+	}
+	sc, ok := rational.CommonScale(vals)
+	if !ok {
+		return s.ValidateReference()
+	}
+	ticks := make([]int64, 4*n) // arrival, wcet, deadline, start per job
+	for i, v := range vals {
+		t, ok := sc.Ticks(v)
+		if !ok || absTick(t) > maxSafeTick {
+			return s.ValidateReference()
 		}
-		if a.Start.Less(j.Arrival) {
-			return fmt.Errorf("sched: job %s starts at %v before arrival %v", j.Name(), a.Start, j.Arrival)
+		ticks[i] = t
+	}
+	arr := func(i int) int64 { return ticks[4*i] }
+	wc := func(i int) int64 { return ticks[4*i+1] }
+	dl := func(i int) int64 { return ticks[4*i+2] }
+	st := func(i int) int64 { return ticks[4*i+3] }
+
+	for i, j := range tg.Jobs {
+		if p := s.Assign[i].Proc; p < 0 || p >= s.M {
+			return fmt.Errorf("sched: job %s mapped to processor %d of %d", j.Name(), p, s.M)
 		}
-		if j.Deadline.Less(s.End(i)) {
-			return fmt.Errorf("sched: job %s misses deadline: ends %v > %v", j.Name(), s.End(i), j.Deadline)
+		if st(i) < arr(i) {
+			return fmt.Errorf("sched: job %s starts at %v before arrival %v",
+				j.Name(), sc.FromTicks(st(i)), j.Arrival)
+		}
+		if st(i)+wc(i) > dl(i) {
+			return fmt.Errorf("sched: job %s misses deadline: ends %v > %v",
+				j.Name(), sc.FromTicks(st(i)+wc(i)), j.Deadline)
 		}
 	}
-	for _, e := range tg.Edges() {
-		if s.Assign[e[1]].Start.Less(s.End(e[0])) {
-			return fmt.Errorf("sched: precedence %s -> %s violated",
-				tg.Jobs[e[0]].Name(), tg.Jobs[e[1]].Name())
+	for i, succs := range tg.Succ {
+		for _, j := range succs {
+			if st(j) < st(i)+wc(i) {
+				return fmt.Errorf("sched: precedence %s -> %s violated",
+					tg.Jobs[i].Name(), tg.Jobs[j].Name())
+			}
 		}
 	}
 	// Mutual exclusion per processor.
-	byProc := make([][]int, s.M)
+	byProc := make([][]int32, s.M)
 	for i := range tg.Jobs {
 		p := s.Assign[i].Proc
-		byProc[p] = append(byProc[p], i)
+		byProc[p] = append(byProc[p], int32(i))
 	}
 	for p, jobs := range byProc {
 		sort.Slice(jobs, func(a, b int) bool {
-			return s.Assign[jobs[a]].Start.Less(s.Assign[jobs[b]].Start)
+			sa, sb := st(int(jobs[a])), st(int(jobs[b]))
+			if sa != sb {
+				return sa < sb
+			}
+			return jobs[a] < jobs[b]
 		})
 		for i := 1; i < len(jobs); i++ {
-			prev, cur := jobs[i-1], jobs[i]
-			if s.Assign[cur].Start.Less(s.End(prev)) {
+			prev, cur := int(jobs[i-1]), int(jobs[i])
+			if st(cur) < st(prev)+wc(prev) {
 				return fmt.Errorf("sched: jobs %s and %s overlap on processor %d",
 					tg.Jobs[prev].Name(), tg.Jobs[cur].Name(), p)
 			}
@@ -241,93 +279,21 @@ func blevels(tg *taskgraph.TaskGraph) []Time {
 // ListSchedule runs the list-scheduling simulation: at every decision
 // instant, each idle processor picks the highest-SP job that has arrived
 // and whose task-graph predecessors have all completed.
+//
+// The simulation is event-driven on an integer timescale (see event.go);
+// its schedules — assignments, start times and tie-breaks — are identical
+// to ListScheduleReference, which remains available as the differential
+// oracle and as the fallback for graphs whose timing does not fit a
+// shared int64 denominator.
 func ListSchedule(tg *taskgraph.TaskGraph, m int, h Heuristic) (*Schedule, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("sched: %d processors", m)
 	}
-	n := len(tg.Jobs)
-	rank := priorities(tg, h)
-
-	procFree := make([]Time, m)
-	finish := make([]Time, n)
-	started := make([]bool, n)
-	assign := make([]Assignment, n)
-
-	t := rational.Zero
-	scheduled := 0
-	for scheduled < n {
-		// Jobs ready at time t: arrived, not yet placed, and with every
-		// task-graph predecessor completed by t (the list-scheduling
-		// extension of the classic readiness condition).
-		var ready []int
-		for i, j := range tg.Jobs {
-			if started[i] || t.Less(j.Arrival) {
-				continue
-			}
-			ok := true
-			for _, p := range tg.Pred[i] {
-				if !started[p] || t.Less(finish[p]) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				ready = append(ready, i)
-			}
-		}
-		sort.Slice(ready, func(a, b int) bool { return rank[ready[a]] < rank[ready[b]] })
-
-		// Idle processors at time t, earliest-free first.
-		var idle []int
-		for p := range procFree {
-			if procFree[p].LessEq(t) {
-				idle = append(idle, p)
-			}
-		}
-
-		for len(idle) > 0 && len(ready) > 0 {
-			i := ready[0]
-			ready = ready[1:]
-			p := idle[0]
-			idle = idle[1:]
-			assign[i] = Assignment{Proc: p, Start: t}
-			started[i] = true
-			finish[i] = t.Add(tg.Jobs[i].WCET)
-			procFree[p] = finish[i]
-			scheduled++
-		}
-
-		if scheduled == n {
-			break
-		}
-
-		// Advance to the next decision instant: the earliest future
-		// event among processor releases, job arrivals, and
-		// predecessor completions.
-		next := Time{}
-		haveNext := false
-		consider := func(c Time) {
-			if t.Less(c) && (!haveNext || c.Less(next)) {
-				next = c
-				haveNext = true
-			}
-		}
-		for p := range procFree {
-			consider(procFree[p])
-		}
-		for i, j := range tg.Jobs {
-			if !started[i] {
-				consider(j.Arrival)
-			} else {
-				consider(finish[i])
-			}
-		}
-		if !haveNext {
-			return nil, fmt.Errorf("sched: scheduler stalled at %v with %d/%d jobs placed", t, scheduled, n)
-		}
-		t = next
+	pc := newPrecomp(tg)
+	if !pc.ok {
+		return ListScheduleReference(tg, m, h)
 	}
-	return &Schedule{TG: tg, M: m, Assign: assign, Heuristic: h}, nil
+	return pc.listSchedule(m, h, pc.rankFor(h))
 }
 
 // FindFeasible tries every heuristic on the given processor count and

@@ -417,3 +417,64 @@ func TestCandidateEdgeCountReported(t *testing.T) {
 			tg.CandidateEdgeCount, tg.EdgeCount())
 	}
 }
+
+func TestDefaultDeriveWorkersHeuristic(t *testing.T) {
+	tests := []struct {
+		jobs, limit, want int
+	}{
+		{0, 8, 1},
+		{10, 8, 1},             // Fig. 3 scale: stay sequential
+		{255, 8, 1},            // below the knee
+		{derivationJobsPerWorker, 8, 1},
+		{812, 8, 3},            // FMS frame: 3 workers, not GOMAXPROCS
+		{812, 2, 2},            // capped by the resolved limit
+		{10_000, 8, 8},
+		{10_000, 1, 1},
+	}
+	for _, tc := range tests {
+		if got := defaultDeriveWorkers(tc.jobs, tc.limit); got != tc.want {
+			t.Errorf("defaultDeriveWorkers(%d, %d) = %d, want %d", tc.jobs, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestFrameJobCountMatchesDerivation(t *testing.T) {
+	t.Parallel()
+	// The estimate that sizes the worker pool must equal the real job
+	// count, because it is computed from the same H and substituted
+	// periods the simulation uses.
+	for _, net := range []*core.Network{signal.New()} {
+		tg, err := Derive(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		substitute := make(map[string]Time, len(tg.ServerPeriod))
+		for name, tp := range tg.ServerPeriod {
+			substitute[name] = tp
+		}
+		if got := frameJobCount(net, tg.Hyperperiod, substitute); got != len(tg.Jobs) {
+			t.Errorf("%s: frameJobCount = %d, want %d", net.Name, got, len(tg.Jobs))
+		}
+	}
+}
+
+func TestPrewarmBuildsLazyEdges(t *testing.T) {
+	t.Parallel()
+	// A hand-assembled graph has no memoized edge list; Prewarm must build
+	// it so concurrent readers never race on the lazy initialization.
+	tg := &TaskGraph{
+		Jobs: []*Job{{Index: 0}, {Index: 1}},
+		Succ: [][]int{{1}, {}},
+		Pred: [][]int{{}, {0}},
+	}
+	if tg.edges != nil {
+		t.Fatal("hand-built graph unexpectedly warm")
+	}
+	tg.Prewarm()
+	if tg.edges == nil {
+		t.Fatal("Prewarm did not materialize the edge list")
+	}
+	if want := [][2]int{{0, 1}}; !reflect.DeepEqual(tg.Edges(), want) {
+		t.Fatalf("Edges = %v, want %v", tg.Edges(), want)
+	}
+}
