@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet vet-custom race fuzz bench bench-json bench-compare experiments golden-update lint-golden-update
+.PHONY: all build test vet vet-custom analyze race fuzz bench bench-json bench-compare experiments golden-update lint-golden-update
 
-all: build vet vet-custom test
+all: build vet vet-custom analyze test
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ vet:
 	$(GO) vet ./...
 
 # Run the repository's own determinism analyzers (internal/analyzers:
-# noclock, maporder, nakedgo) over the whole module.
+# noclock, maporder, nakedgo, plus the interprocedural jobreach
+# call-graph pass) over the whole module.
 vet-custom:
 	$(GO) run ./cmd/fppnlint-go .
+
+# Run the FPPN model linter over every registry application (JSON
+# reports on stdout). fppnvet exits 1 if any app has findings — the
+# paper apps must stay lint-clean.
+analyze:
+	$(GO) run ./cmd/fppnvet -all -json
 
 # The compile pipeline and portfolio scheduler fan out goroutines; every
 # test (including the differential determinism harness) must be race-clean.
@@ -32,6 +39,8 @@ fuzz:
 	$(GO) test ./internal/lint -fuzz FuzzLintNeverPanics -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzPlanMatchesZeroDelay -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzListScheduleMatchesReference -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzStaticBuffersMatchExecuted -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzDemandBoundBelowMinProcessors -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -416,7 +416,7 @@ func BenchmarkBufferBounds(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if rep.Bound(signal.ChanFiltered) == 0 {
+		if bound, ok := rep.Bound(signal.ChanFiltered); !ok || bound == 0 {
 			b.Fatal("no bound computed")
 		}
 	}

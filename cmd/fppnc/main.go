@@ -135,7 +135,8 @@ func run(app string, m, workers int, heuristic, vet, dot, jsonOut string, gantt,
 			if c.Kind != core.FIFO {
 				continue
 			}
-			fmt.Printf("  %-14s %d slots\n", c.Name, rep.Bound(c.Name))
+			slots, _ := rep.Bound(c.Name)
+			fmt.Printf("  %-14s %d slots\n", c.Name, slots)
 		}
 		if len(rep.Unbalanced) > 0 {
 			fmt.Println("  UNBALANCED channels:", rep.Unbalanced)

@@ -1,7 +1,7 @@
 // Command fppnlint-go runs the repository's custom determinism analyzers
-// (internal/analyzers: noclock, maporder, nakedgo) over a source tree.
-// It is the project's stdlib-only stand-in for a `go vet -vettool`
-// driver.
+// (internal/analyzers: noclock, maporder, nakedgo, plus the
+// interprocedural jobreach call-graph pass) over a source tree. It is
+// the project's stdlib-only stand-in for a `go vet -vettool` driver.
 //
 // Usage:
 //
@@ -46,7 +46,7 @@ func main() {
 }
 
 func run(w io.Writer, root string, jsonOut bool) (int, error) {
-	diags, err := analyzers.Check(root, analyzers.All)
+	diags, err := analyzers.CheckAll(root)
 	if err != nil {
 		return exitUsage, err
 	}

@@ -46,8 +46,9 @@ func buffering() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	slots, _ := rep.Bound("q")
 	fmt.Printf("producer at 100 ms, draining consumer at 400 ms -> channel q needs %d slots\n",
-		rep.Bound("q"))
+		slots)
 	if unb, _ := fppn.RateBalanced(n); len(unb) == 0 {
 		fmt.Println("static rate check: balanced (the consumer drains)")
 	}

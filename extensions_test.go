@@ -15,8 +15,8 @@ func TestPublicAPIExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Bound("raw") < 1 {
-		t.Errorf("raw channel bound %d", rep.Bound("raw"))
+	if bound, ok := rep.Bound("raw"); !ok || bound < 1 {
+		t.Errorf("raw channel bound %d (tracked %v)", bound, ok)
 	}
 	if unb, err := fppn.RateBalanced(net); err != nil || len(unb) != 0 {
 		t.Errorf("RateBalanced = %v, %v", unb, err)

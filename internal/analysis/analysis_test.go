@@ -48,11 +48,15 @@ func TestBufferBoundsBalanced(t *testing.T) {
 	// consumer (lower priority at t=0) drains right after the write at
 	// each multiple of 400. Peak backlog: 4 (writes at 400,500,600,700
 	// before the drain at 800 — i.e. 4 samples pending).
-	if got := rep.Bound("q"); got != 4 {
-		t.Errorf("high water = %d, want 4", got)
+	if got, ok := rep.Bound("q"); !ok || got != 4 {
+		t.Errorf("high water = %d (tracked %v), want 4", got, ok)
 	}
 	if len(rep.Unbalanced) != 0 {
 		t.Errorf("balanced network flagged unbalanced: %v", rep.Unbalanced)
+	}
+	// A channel the network does not have is "untracked", not "bound 0".
+	if got, ok := rep.Bound("no-such-channel"); ok {
+		t.Errorf("missing channel reported as tracked with bound %d", got)
 	}
 }
 
@@ -91,11 +95,11 @@ func TestBufferBoundsSignalApp(t *testing.T) {
 	}
 	// NormA drains 'filtered' every frame; FilterA writes twice per
 	// frame: bound 2. The blackboards stay at 1.
-	if got := rep.Bound(signal.ChanFiltered); got != 2 {
-		t.Errorf("filtered bound = %d, want 2", got)
+	if got, ok := rep.Bound(signal.ChanFiltered); !ok || got != 2 {
+		t.Errorf("filtered bound = %d (tracked %v), want 2", got, ok)
 	}
-	if got := rep.Bound(signal.ChanFeedback); got > 1 {
-		t.Errorf("blackboard bound = %d, want <= 1", got)
+	if got, ok := rep.Bound(signal.ChanFeedback); !ok || got > 1 {
+		t.Errorf("blackboard bound = %d (tracked %v), want <= 1", got, ok)
 	}
 	if len(rep.Unbalanced) != 0 {
 		t.Errorf("signal app flagged unbalanced: %v", rep.Unbalanced)
@@ -179,5 +183,63 @@ func TestCompareHeuristicsFMS(t *testing.T) {
 	}
 	if feasibleCount == 0 {
 		t.Error("no heuristic schedules the FMS feasibly on one processor at load 0.23")
+	}
+}
+
+// Stats must tolerate a schedule with no jobs at all: every aggregate
+// stays at its zero value and the zero-length frame does not divide.
+func TestStatsEmptySchedule(t *testing.T) {
+	tg := &taskgraph.TaskGraph{Hyperperiod: ms(0)}
+	s := &sched.Schedule{TG: tg, M: 2}
+	st := Stats(s)
+	if st.Misses != 0 || st.Makespan.Sign() != 0 {
+		t.Errorf("empty schedule stats: %+v", st)
+	}
+	if st.Utilization.Sign() != 0 {
+		t.Errorf("utilization with zero-length frame = %v, want 0", st.Utilization)
+	}
+	if len(st.PerProcBusy) != 2 {
+		t.Fatalf("PerProcBusy length %d, want 2", len(st.PerProcBusy))
+	}
+	for p, busy := range st.PerProcBusy {
+		if busy.Sign() != 0 {
+			t.Errorf("processor %d busy %v with no jobs", p, busy)
+		}
+	}
+	if st.MinSlack.Sign() != 0 {
+		t.Errorf("MinSlack = %v with no jobs, want 0", st.MinSlack)
+	}
+	if st.String() == "" || Table([]SchedStats{st}) == "" {
+		t.Error("empty schedule does not render")
+	}
+}
+
+// The single-processor path: one process, one job per frame, M = 1.
+func TestStatsSingleProcessor(t *testing.T) {
+	net := core.NewNetwork("solo")
+	net.AddPeriodic("only", ms(100), ms(100), ms(10), nil)
+	tg, err := taskgraph.Derive(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.FindFeasible(tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(s)
+	if st.Processors != 1 || len(st.PerProcBusy) != 1 {
+		t.Fatalf("single-processor stats: %+v", st)
+	}
+	if !st.Feasible || st.Misses != 0 {
+		t.Errorf("trivial schedule infeasible: %+v", st)
+	}
+	if !st.PerProcBusy[0].Equal(ms(10)) {
+		t.Errorf("busy = %v, want 10ms", st.PerProcBusy[0])
+	}
+	if !st.Utilization.Equal(rational.New(1, 10)) {
+		t.Errorf("utilization = %v, want 1/10", st.Utilization)
+	}
+	if !st.MinSlack.Equal(ms(90)) {
+		t.Errorf("MinSlack = %v, want 90ms", st.MinSlack)
 	}
 }

@@ -29,8 +29,14 @@ type BufferReport struct {
 	Unbalanced []string
 }
 
-// Bound returns the observed capacity bound for one channel.
-func (r *BufferReport) Bound(channel string) int { return r.HighWater[channel] }
+// Bound returns the observed capacity bound for one channel. The second
+// result reports whether the channel was tracked at all: a zero bound on
+// a real (never-written) channel and a misspelled channel name are
+// different answers.
+func (r *BufferReport) Bound(channel string) (int, bool) {
+	bound, ok := r.HighWater[channel]
+	return bound, ok
+}
 
 // BufferBounds executes the zero-delay semantics over the given number of
 // hyperperiods, tracking per-channel occupancy. For rate-balanced networks

@@ -11,9 +11,15 @@
 //   - nakedgo: goroutines may only be spawned by the audited concurrency
 //     layers (internal/parallel, internal/plan, internal/rt).
 //
+// On top of the per-directory passes, the module-wide (interprocedural)
+// jobreach analyzer builds a function call graph over the whole module
+// and reports the same classes of nondeterminism when they are
+// *reachable* from job functions in internal/apps and examples, even
+// through layers of helpers in packages the direct passes don't guard.
+//
 // A finding can be suppressed by a "fppnlint:ignore" comment on, or on
 // the line above, the offending line. The cmd/fppnlint-go command drives
-// the analyzers over the whole module.
+// all the analyzers over the whole module via CheckAll.
 package analyzers
 
 import (
@@ -22,6 +28,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -91,10 +98,19 @@ var All = []*Analyzer{NoClock, MapOrder, NakedGo}
 // ignoreMarker suppresses findings on its own line and the next.
 const ignoreMarker = "fppnlint:ignore"
 
-// Check parses every non-test Go file under root (skipping testdata,
-// hidden and vendor directories) and runs the analyzers, returning the
-// findings sorted by position.
-func Check(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// moduleTree is one parse of the whole source tree under a root,
+// shared between the per-directory and the module-wide analyzers.
+type moduleTree struct {
+	fset       *token.FileSet
+	module     string   // module path from go.mod ("" when absent)
+	dirs       []string // sorted module-relative directories
+	packages   map[string]*ModulePackage
+	suppressed map[string]map[int]bool // file -> suppressed lines
+}
+
+// loadTree parses every non-test Go file under root (skipping testdata,
+// hidden and vendor directories), grouped by directory.
+func loadTree(root string) (*moduleTree, error) {
 	dirs := make(map[string][]string)
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -118,41 +134,112 @@ func Check(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, err
 	}
 
+	tree := &moduleTree{
+		fset:       token.NewFileSet(),
+		module:     moduleName(root),
+		packages:   make(map[string]*ModulePackage),
+		suppressed: make(map[string]map[int]bool),
+	}
 	var dirNames []string
 	for dir := range dirs {
 		dirNames = append(dirNames, dir)
 	}
 	sort.Strings(dirNames)
-
-	var out []Diagnostic
-	fset := token.NewFileSet()
 	for _, dir := range dirNames {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return nil, err
 		}
 		rel = filepath.ToSlash(rel)
-		var files []*ast.File
-		suppressed := make(map[string]map[int]bool)
+		pkg := &ModulePackage{Dir: rel, Path: importPathFor(tree.module, rel)}
 		sort.Strings(dirs[dir])
 		for _, path := range dirs[dir] {
-			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			file, err := parser.ParseFile(tree.fset, path, nil, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("parse %s: %w", path, err)
 			}
-			files = append(files, file)
-			suppressed[fset.Position(file.Pos()).Filename] = suppressedLines(fset, file)
+			pkg.Files = append(pkg.Files, file)
+			tree.suppressed[tree.fset.Position(file.Pos()).Filename] = suppressedLines(tree.fset, file)
 		}
-		for _, a := range analyzers {
+		tree.dirs = append(tree.dirs, rel)
+		tree.packages[rel] = pkg
+	}
+	return tree, nil
+}
+
+// moduleName extracts the module path from root's go.mod, or "" when the
+// file is absent or malformed (cross-package resolution is then disabled).
+func moduleName(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// importPathFor maps a module-relative directory to its import path.
+func importPathFor(module, rel string) string {
+	if rel == "." || rel == "" {
+		return module
+	}
+	if module == "" {
+		return rel
+	}
+	return module + "/" + rel
+}
+
+// Check parses every non-test Go file under root (skipping testdata,
+// hidden and vendor directories) and runs the per-directory analyzers,
+// returning the findings sorted by position.
+func Check(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runChecks(root, analyzers, nil)
+}
+
+// CheckAll runs the per-directory analyzers plus the module-wide
+// (interprocedural) analyzers over one parse of the tree under root.
+func CheckAll(root string) ([]Diagnostic, error) {
+	return runChecks(root, All, AllModule)
+}
+
+func runChecks(root string, dirAnalyzers []*Analyzer, moduleAnalyzers []*ModuleAnalyzer) ([]Diagnostic, error) {
+	tree, err := loadTree(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, rel := range tree.dirs {
+		pkg := tree.packages[rel]
+		for _, a := range dirAnalyzers {
 			if a.Applies != nil && !a.Applies(rel) {
 				continue
 			}
 			a.Run(&Pass{
 				Analyzer:   a,
-				Fset:       fset,
-				Files:      files,
+				Fset:       tree.fset,
+				Files:      pkg.Files,
 				Dir:        rel,
-				suppressed: suppressed,
+				suppressed: tree.suppressed,
+				out:        &out,
+			})
+		}
+	}
+	if len(moduleAnalyzers) > 0 {
+		pkgs := make([]*ModulePackage, 0, len(tree.dirs))
+		for _, rel := range tree.dirs {
+			pkgs = append(pkgs, tree.packages[rel])
+		}
+		for _, a := range moduleAnalyzers {
+			a.Run(&ModulePass{
+				Analyzer:   a,
+				Fset:       tree.fset,
+				Module:     tree.module,
+				Packages:   pkgs,
+				suppressed: tree.suppressed,
 				out:        &out,
 			})
 		}

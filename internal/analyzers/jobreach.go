@@ -1,0 +1,374 @@
+package analyzers
+
+// jobreach is the interprocedural determinism pass. The per-directory
+// analyzers only see nondeterminism that is syntactically present in the
+// guarded packages; a job behavior in internal/apps that calls a helper
+// which calls time.Now slips straight through. jobreach builds a
+// module-wide function call graph over go/ast (no type checker), seeds a
+// breadth-first search at every job function — Step/Init methods in
+// internal/apps and examples, plus any function wrapped in a
+// core.BehaviorFunc conversion — and reports each nondeterministic
+// operation (wall-clock read, global math/rand use, unsorted map-range
+// collection, naked go statement) reachable from one, together with the
+// call path that reaches it.
+//
+// Resolution is syntactic and deliberately conservative in both
+// directions: plain identifier calls bind to same-package functions,
+// pkg.F calls bind through the file's imports to module-internal
+// packages, and x.M calls (x not an import) bind to every same-package
+// method named M. Calls into packages outside the module, through
+// interfaces across packages, or via function values are not followed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// jobRootDirs are the directories whose job functions seed the search:
+// the paper applications and the runnable examples.
+var jobRootDirs = []string{"internal/apps", "examples"}
+
+// JobReach reports nondeterminism reachable from job functions through
+// the module call graph.
+var JobReach = &ModuleAnalyzer{
+	Name: "jobreach",
+	Doc: "report nondeterminism (time.Now, math/rand, unsorted map ranges, go statements) " +
+		"reachable through the call graph from job functions in internal/apps and examples",
+	Run: runJobReach,
+}
+
+// jobSink is one nondeterministic operation inside a function body.
+type jobSink struct {
+	pos  token.Pos
+	what string
+}
+
+// funcNode is one function, method, or behavior literal in the graph.
+type funcNode struct {
+	key   string // unique: importPath.name or importPath.Recv.name
+	label string // display: pkgname.name or pkgname.Recv.name
+	pkg   *ModulePackage
+	file  *ast.File
+	ftype *ast.FuncType
+	body  *ast.BlockStmt
+	pos   token.Pos
+	calls []string
+	sinks []jobSink
+}
+
+func (n *funcNode) addCall(key string) {
+	for _, c := range n.calls {
+		if c == key {
+			return
+		}
+	}
+	n.calls = append(n.calls, key)
+}
+
+// jobGraph is the module call graph plus the name indexes used to
+// resolve calls.
+type jobGraph struct {
+	pass    *ModulePass
+	nodes   map[string]*funcNode
+	order   []string                       // node keys in declaration order
+	funcs   map[string]map[string]string   // pkg path -> func name -> key
+	methods map[string]map[string][]string // pkg path -> method name -> keys
+	// maporder's syntactic map inference, per package path:
+	// struct fields / package vars with (nested) map types.
+	fieldMaps, fieldNested map[string]map[string]bool
+	pkgMaps, pkgNested     map[string]map[string]bool
+}
+
+func runJobReach(p *ModulePass) {
+	g := &jobGraph{
+		pass:        p,
+		nodes:       make(map[string]*funcNode),
+		funcs:       make(map[string]map[string]string),
+		methods:     make(map[string]map[string][]string),
+		fieldMaps:   make(map[string]map[string]bool),
+		fieldNested: make(map[string]map[string]bool),
+		pkgMaps:     make(map[string]map[string]bool),
+		pkgNested:   make(map[string]map[string]bool),
+	}
+	g.index()
+	roots := g.roots()
+	for _, key := range g.order {
+		g.analyze(g.nodes[key])
+	}
+	g.search(roots)
+}
+
+// index declares every function and method of the module as a graph node
+// and collects the package-level map inference sets.
+func (g *jobGraph) index() {
+	for _, pkg := range g.pass.Packages {
+		g.funcs[pkg.Path] = make(map[string]string)
+		g.methods[pkg.Path] = make(map[string][]string)
+		fields, fieldNested := make(map[string]bool), make(map[string]bool)
+		vars, varNested := make(map[string]bool), make(map[string]bool)
+		for _, file := range pkg.Files {
+			collectPackageMaps(file, fields, fieldNested, vars, varNested)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				name := fn.Name.Name
+				node := &funcNode{
+					pkg:   pkg,
+					file:  file,
+					ftype: fn.Type,
+					body:  fn.Body,
+					pos:   fn.Pos(),
+				}
+				if recv := receiverType(fn); recv != "" {
+					node.key = pkg.Path + "." + recv + "." + name
+					node.label = file.Name.Name + "." + recv + "." + name
+					g.methods[pkg.Path][name] = append(g.methods[pkg.Path][name], node.key)
+				} else {
+					node.key = pkg.Path + "." + name
+					node.label = file.Name.Name + "." + name
+					g.funcs[pkg.Path][name] = node.key
+				}
+				g.nodes[node.key] = node
+				g.order = append(g.order, node.key)
+			}
+		}
+		g.fieldMaps[pkg.Path] = fields
+		g.fieldNested[pkg.Path] = fieldNested
+		g.pkgMaps[pkg.Path] = vars
+		g.pkgNested[pkg.Path] = varNested
+	}
+}
+
+// receiverType names a method's receiver type, unwrapping pointers and
+// type parameters.
+func receiverType(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		default:
+			return "?"
+		}
+	}
+}
+
+// roots finds the job functions: Step/Init methods declared in the job
+// packages, plus every function or literal wrapped in a BehaviorFunc
+// conversion there. Behavior literals become graph nodes of their own.
+func (g *jobGraph) roots() []string {
+	var roots []string
+	seen := make(map[string]bool)
+	add := func(key string) {
+		if key != "" && !seen[key] {
+			seen[key] = true
+			roots = append(roots, key)
+		}
+	}
+	for _, pkg := range g.pass.Packages {
+		if !dirIn(pkg.Dir, jobRootDirs...) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil {
+					continue
+				}
+				if fn.Name.Name == "Step" || fn.Name.Name == "Init" {
+					add(pkg.Path + "." + receiverType(fn) + "." + fn.Name.Name)
+				}
+			}
+			pkgPath, f := pkg.Path, file
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || calleeName(call.Fun) != "BehaviorFunc" {
+					return true
+				}
+				switch arg := call.Args[0].(type) {
+				case *ast.Ident:
+					add(g.funcs[pkgPath][arg.Name])
+				case *ast.SelectorExpr:
+					if base, ok := arg.X.(*ast.Ident); ok {
+						if path := importedPath(f, base.Name); g.pass.Internal(path) {
+							add(g.funcs[path][arg.Sel.Name])
+						}
+					}
+				case *ast.FuncLit:
+					pos := g.pass.Fset.Position(arg.Pos())
+					node := &funcNode{
+						key:   fmt.Sprintf("%s.behavior@%s:%d", pkgPath, pos.Filename, pos.Line),
+						label: f.Name.Name + ".BehaviorFunc literal",
+						pkg:   pkg,
+						file:  f,
+						ftype: arg.Type,
+						body:  arg.Body,
+						pos:   arg.Pos(),
+					}
+					g.nodes[node.key] = node
+					g.order = append(g.order, node.key)
+					add(node.key)
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a := g.pass.Fset.Position(g.nodes[roots[i]].pos)
+		b := g.pass.Fset.Position(g.nodes[roots[j]].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return roots
+}
+
+// calleeName extracts the bare name of a call target: BehaviorFunc for
+// both BehaviorFunc(f) and core.BehaviorFunc(f).
+func calleeName(fun ast.Expr) string {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// analyze resolves one node's outgoing call edges and scans its body for
+// nondeterministic sinks.
+func (g *jobGraph) analyze(n *funcNode) {
+	path := n.pkg.Path
+	ast.Inspect(n.body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if key, ok := g.funcs[path][fun.Name]; ok {
+				n.addCall(key)
+			}
+		case *ast.SelectorExpr:
+			base, ok := fun.X.(*ast.Ident)
+			if !ok {
+				// Method call on a compound expression: bind by name
+				// within the package.
+				for _, key := range g.methods[path][fun.Sel.Name] {
+					n.addCall(key)
+				}
+				return true
+			}
+			if imp := importedPath(n.file, base.Name); imp != "" {
+				if g.pass.Internal(imp) {
+					if key, ok := g.funcs[imp][fun.Sel.Name]; ok {
+						n.addCall(key)
+					}
+				}
+				return true
+			}
+			for _, key := range g.methods[path][fun.Sel.Name] {
+				n.addCall(key)
+			}
+		}
+		return true
+	})
+	n.sinks = g.findSinks(n)
+}
+
+// findSinks collects the nondeterministic operations in one body: the
+// same four classes the per-directory analyzers guard, but anywhere in
+// the module.
+func (g *jobGraph) findSinks(n *funcNode) []jobSink {
+	timeName := importName(n.file, "time")
+	randName := importName(n.file, "math/rand")
+	if randName == "" {
+		randName = importName(n.file, "math/rand/v2")
+	}
+	var sinks []jobSink
+	ast.Inspect(n.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			sinks = append(sinks, jobSink{node.Pos(), "a go statement"})
+		case *ast.SelectorExpr:
+			base, ok := node.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if timeName != "" && base.Name == timeName && bannedTimeFuncs[node.Sel.Name] {
+				sinks = append(sinks, jobSink{node.Pos(),
+					fmt.Sprintf("the wall-clock call %s.%s", base.Name, node.Sel.Name)})
+			}
+			if randName != "" && base.Name == randName {
+				sinks = append(sinks, jobSink{node.Pos(),
+					fmt.Sprintf("the global math/rand use %s.%s", base.Name, node.Sel.Name)})
+			}
+		}
+		return true
+	})
+	path := n.pkg.Path
+	for _, pos := range mapRangePositions(n.ftype, n.body,
+		g.fieldMaps[path], g.fieldNested[path], g.pkgMaps[path], g.pkgNested[path]) {
+		sinks = append(sinks, jobSink{pos, "an unsorted map-range collection"})
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i].pos < sinks[j].pos })
+	return sinks
+}
+
+// search runs a breadth-first search from each root and reports every
+// sink the first time some root reaches it, with the call path.
+func (g *jobGraph) search(roots []string) {
+	reported := make(map[string]bool)
+	for _, root := range roots {
+		parent := map[string]string{root: ""}
+		queue := []string{root}
+		for len(queue) > 0 {
+			key := queue[0]
+			queue = queue[1:]
+			n := g.nodes[key]
+			for _, s := range n.sinks {
+				id := g.pass.Fset.Position(s.pos).String() + "|" + s.what
+				if reported[id] {
+					continue
+				}
+				reported[id] = true
+				g.pass.Reportf(s.pos,
+					"%s is reachable from job function %s (call path: %s); job behaviors must stay deterministic",
+					s.what, g.nodes[root].label, g.chain(parent, key))
+			}
+			for _, c := range n.calls {
+				if _, seen := parent[c]; !seen {
+					parent[c] = key
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+}
+
+// chain renders the call path root → ... → key.
+func (g *jobGraph) chain(parent map[string]string, key string) string {
+	var labels []string
+	for k := key; k != ""; k = parent[k] {
+		labels = append(labels, g.nodes[k].label)
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return strings.Join(labels, " → ")
+}

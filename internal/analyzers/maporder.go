@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 )
 
 // MapOrder flags loops that range over a map and append to a slice inside
@@ -99,6 +100,19 @@ func mapRHS(e ast.Expr) (bool, bool) {
 }
 
 func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNested map[string]bool) {
+	for _, pos := range mapRangePositions(fn.Type, fn.Body, fieldMaps, fieldNested, pkgMaps, pkgNested) {
+		p.Reportf(pos,
+			"range over map feeds a slice but the function never sorts; map order is nondeterministic — sort the result (or the keys first)")
+	}
+}
+
+// mapRangePositions locates the loops in one function body that range
+// over a (syntactically inferred) map and append to a slice while the
+// function never sorts. Shared by the per-package maporder pass and the
+// interprocedural jobreach pass.
+func mapRangePositions(ftype *ast.FuncType, body *ast.BlockStmt,
+	fieldMaps, fieldNested, pkgMaps, pkgNested map[string]bool) []token.Pos {
+
 	localMaps, localNested := make(map[string]bool), make(map[string]bool)
 	record := func(names []*ast.Ident, typ ast.Expr) {
 		isMap, deep := mapTypeOf(typ)
@@ -112,12 +126,12 @@ func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNe
 			}
 		}
 	}
-	if fn.Type.Params != nil {
-		for _, f := range fn.Type.Params.List {
+	if ftype.Params != nil {
+		for _, f := range ftype.Params.List {
 			record(f.Names, f.Type)
 		}
 	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
@@ -170,7 +184,7 @@ func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNe
 	}
 
 	sorts := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -183,7 +197,8 @@ func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNe
 		return true
 	})
 
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok || !isMapExpr(rng.X) {
 			return true
@@ -191,10 +206,10 @@ func checkFunc(p *Pass, fn *ast.FuncDecl, fieldMaps, fieldNested, pkgMaps, pkgNe
 		if !appendsToSlice(rng.Body) || sorts {
 			return true
 		}
-		p.Reportf(rng.Pos(),
-			"range over map feeds a slice but the function never sorts; map order is nondeterministic — sort the result (or the keys first)")
+		out = append(out, rng.Pos())
 		return true
 	})
+	return out
 }
 
 // appendsToSlice reports whether the block assigns the result of append

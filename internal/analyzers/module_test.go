@@ -1,0 +1,221 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkAll(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	diags, err := CheckAll(write(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// only keeps the diagnostics of one analyzer.
+func only(diags []Diagnostic, analyzer string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// The defining case: a job behavior calls a pure-looking helper that
+// reads the wall clock. The per-directory passes are blind to it (apps
+// are not a noclock-guarded package); the call-graph pass is not.
+func TestJobReachOneCallDeep(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/apps/demo/demo.go": `package demo
+
+import "time"
+
+type Context struct{}
+
+type Sensor struct{}
+
+func (Sensor) Init() {}
+
+func (Sensor) Step(ctx *Context) error { return helper(ctx) }
+
+func helper(ctx *Context) error {
+	_ = stamp()
+	return nil
+}
+
+func stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+
+	direct, err := Check(write(t, files), All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 0 {
+		t.Fatalf("direct per-directory analyzers should miss the buried time.Now, got:\n%s", messages(direct))
+	}
+
+	diags := only(checkAll(t, files), "jobreach")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one jobreach diagnostic, got:\n%s", messages(diags))
+	}
+	msg := diags[0].Message
+	for _, want := range []string{"time.Now", "demo.Sensor.Step", "demo.helper → demo.stamp"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+}
+
+// Cross-package resolution: the helper lives in a sub-package reached
+// through the file's imports, and the sink is the global math/rand.
+func TestJobReachCrossPackage(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/apps/demo/demo.go": `package demo
+
+import "fixture/internal/apps/demo/util"
+
+type Filter struct{}
+
+func (Filter) Init() {}
+
+func (Filter) Step() error {
+	_ = util.Roll()
+	return nil
+}
+`,
+		"internal/apps/demo/util/util.go": `package util
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`,
+	}), "jobreach")
+	if len(diags) != 1 {
+		t.Fatalf("want one jobreach diagnostic, got:\n%s", messages(diags))
+	}
+	for _, want := range []string{"rand.Intn", "demo.Filter.Step", "util.Roll"} {
+		if !strings.Contains(diags[0].Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, diags[0].Message)
+		}
+	}
+}
+
+// Functions wrapped in BehaviorFunc conversions are roots too, and the
+// unsorted map-range sink is reported with its call path.
+func TestJobReachBehaviorFuncRootAndMapRange(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"examples/demo/main.go": `package main
+
+import "fixture/internal/core"
+
+func main() {
+	_ = core.BehaviorFunc(job)
+}
+
+func job() error { return collect() }
+
+func collect() error {
+	m := make(map[string]int)
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	_ = out
+	return nil
+}
+`,
+		"internal/core/core.go": `package core
+
+type BehaviorFunc func() error
+`,
+	}), "jobreach")
+	if len(diags) != 1 {
+		t.Fatalf("want one jobreach diagnostic, got:\n%s", messages(diags))
+	}
+	for _, want := range []string{"map-range", "main.job", "main.collect"} {
+		if !strings.Contains(diags[0].Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, diags[0].Message)
+		}
+	}
+}
+
+// A go statement buried behind a job function is reported (in addition
+// to nakedgo's syntactic finding at the same position), and an
+// fppnlint:ignore comment on the sink suppresses the jobreach finding.
+func TestJobReachGoStatementAndSuppression(t *testing.T) {
+	src := func(marker string) map[string]string {
+		return map[string]string{
+			"go.mod": "module fixture\n\ngo 1.22\n",
+			"internal/apps/demo/demo.go": `package demo
+
+type Worker struct{}
+
+func (Worker) Init() {}
+
+func (Worker) Step() error {
+	fork()
+	return nil
+}
+
+func fork() {
+	go func() {}() ` + marker + `
+}
+`,
+		}
+	}
+	diags := only(checkAll(t, src("")), "jobreach")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "go statement") {
+		t.Fatalf("want one jobreach go-statement diagnostic, got:\n%s", messages(diags))
+	}
+	if diags := only(checkAll(t, src("// fppnlint:ignore -- audited")), "jobreach"); len(diags) != 0 {
+		t.Fatalf("fppnlint:ignore not honoured:\n%s", messages(diags))
+	}
+}
+
+// Each sink is reported once even when several roots reach it.
+func TestJobReachReportsSinkOnce(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/apps/demo/demo.go": `package demo
+
+import "time"
+
+type A struct{}
+
+func (A) Step() error { return shared() }
+
+type B struct{}
+
+func (B) Step() error { return shared() }
+
+func shared() error {
+	_ = time.Now()
+	return nil
+}
+`,
+	}), "jobreach")
+	if len(diags) != 1 {
+		t.Fatalf("shared sink reported %d times:\n%s", len(diags), messages(diags))
+	}
+}
+
+// The interprocedural pass must produce zero findings on the repository
+// itself: the real job behaviors are deterministic all the way down.
+func TestJobReachRepositoryClean(t *testing.T) {
+	diags, err := CheckAll(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository has interprocedural determinism findings:\n%s", messages(diags))
+	}
+}

@@ -60,12 +60,17 @@ func NewWCET(wcet core.Time) *core.Network {
 	n.AddPeriodic(OutputB, ms(100), ms(100), wcet, core.BehaviorFunc(outputBBody))
 	n.AddSporadic(CoefB, 2, ms(700), ms(700), wcet, &coefState{})
 
+	// Access profiles beyond the defaults (one write per writer job, at
+	// most one read per reader job) are declared on the channels so the
+	// static dataflow analysis can reproduce the executed buffer
+	// occupancy exactly: NormA drains the filtered FIFO in a loop, and
+	// FilterB forwards to outB only when an inB sample was available.
 	n.Connect(InputA, FilterA, ChanInA, core.FIFO)
 	n.Connect(InputA, FilterB, ChanInB, core.FIFO)
-	n.Connect(FilterA, NormA, ChanFiltered, core.FIFO)
+	n.Connect(FilterA, NormA, ChanFiltered, core.FIFO).Drain()
 	n.Connect(NormA, FilterA, ChanFeedback, core.Blackboard)
 	n.Connect(NormA, OutputA, ChanNormed, core.FIFO)
-	n.Connect(FilterB, OutputB, ChanOutB, core.FIFO)
+	n.Connect(FilterB, OutputB, ChanOutB, core.FIFO).GatedBy(ChanInB)
 	n.ConnectInit(CoefB, FilterB, ChanCoefs, 1)
 
 	// Functional priorities: data-flow direction for the periodic part

@@ -45,6 +45,33 @@ type Channel struct {
 	// return ok == false until the first write.
 	Initial    Value
 	HasInitial bool
+
+	// DrainReads declares that every job of the reader consumes all
+	// queued tokens (a read loop until ok == false) instead of the
+	// default at most one. The declaration is an access profile consumed
+	// by the static dataflow analysis (internal/staticflow); execution
+	// semantics are unaffected.
+	DrainReads bool
+	// WriteGatedBy names an input channel of the writer process such
+	// that a job of the writer emits a token on this channel only when
+	// its read of that input succeeded in the same job. Empty means the
+	// writer writes unconditionally (the default access profile).
+	WriteGatedBy string
+}
+
+// Drain marks the channel's reader as draining (see DrainReads) and
+// returns the channel for builder chaining.
+func (c *Channel) Drain() *Channel {
+	c.DrainReads = true
+	return c
+}
+
+// GatedBy declares that writes to this channel happen only when the
+// writer's read of the named input channel succeeded (see WriteGatedBy)
+// and returns the channel for builder chaining.
+func (c *Channel) GatedBy(channel string) *Channel {
+	c.WriteGatedBy = channel
+	return c
 }
 
 // channelState is the mutable runtime state of an internal channel.
@@ -65,37 +92,68 @@ type channelState interface {
 	highWater() int
 }
 
-// fifoState implements channelState with queue semantics.
+// fifoState implements channelState with queue semantics over a ring
+// buffer. When the backing storage is pre-sized to the channel's static
+// high-water bound (see MachineOptions.FIFOCapacity), steady-state
+// execution never allocates; an underestimated capacity only costs a
+// doubling copy, never correctness.
 type fifoState struct {
-	q   []Value
-	max int
+	buf  []Value
+	head int
+	n    int
+	max  int
 }
 
 func (f *fifoState) write(v Value) {
-	f.q = append(f.q, v)
-	if len(f.q) > f.max {
-		f.max = len(f.q)
+	if f.n == len(f.buf) {
+		f.grow()
 	}
+	f.buf[(f.head+f.n)%len(f.buf)] = v
+	f.n++
+	if f.n > f.max {
+		f.max = f.n
+	}
+}
+
+func (f *fifoState) grow() {
+	ncap := 2 * len(f.buf)
+	if ncap == 0 {
+		ncap = 4
+	}
+	nb := make([]Value, ncap)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf, f.head = nb, 0
 }
 
 func (f *fifoState) read() (Value, bool) {
-	if len(f.q) == 0 {
+	if f.n == 0 {
 		return nil, false
 	}
-	v := f.q[0]
-	f.q = f.q[1:]
+	v := f.buf[f.head]
+	f.buf[f.head] = nil // release the slot's reference
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
 	return v, true
 }
 
-func (f *fifoState) reset() { f.q, f.max = nil, 0 }
+func (f *fifoState) reset() {
+	for i := 0; i < f.n; i++ {
+		f.buf[(f.head+i)%len(f.buf)] = nil
+	}
+	f.head, f.n, f.max = 0, 0, 0
+}
 
 func (f *fifoState) snapshot() []Value {
-	out := make([]Value, len(f.q))
-	copy(out, f.q)
+	out := make([]Value, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
 	return out
 }
 
-func (f *fifoState) len() int { return len(f.q) }
+func (f *fifoState) len() int { return f.n }
 
 func (f *fifoState) highWater() int { return f.max }
 

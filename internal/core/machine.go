@@ -21,6 +21,15 @@ type MachineOptions struct {
 	Inputs map[string][]Value
 	// RecordTrace enables action-trace recording.
 	RecordTrace bool
+	// FIFOCapacity pre-sizes the ring storage of named FIFO channels,
+	// typically from staticflow high-water bounds. All pre-sized rings
+	// are carved from one contiguous block; channels without an entry
+	// (or whose bound is exceeded at run time) grow on demand.
+	FIFOCapacity map[string]int
+	// OutputCapacity pre-sizes the sample slice of named external output
+	// channels (a capacity hint; exceeding it falls back to append
+	// growth).
+	OutputCapacity map[string]int
 }
 
 // Machine executes jobs of a validated Network against shared channel
@@ -41,6 +50,7 @@ type Machine struct {
 	counts    []int64        // by pid
 	inputs    map[string][]Value
 	outputs   map[string][]Sample
+	outCap    map[string]int
 	trace     Trace
 	record    bool
 	ctx       JobContext // reused across ExecJob calls
@@ -76,9 +86,43 @@ func NewMachineCompiled(cn *CompiledNet, opts MachineOptions) (*Machine, error) 
 		record:    opts.RecordTrace,
 	}
 	m.ctx.m = m
-	for cid, c := range cn.chans {
-		m.chans[cid] = newChannelState(c)
+	// Channel states live in two contiguous pools (one per kind), and all
+	// pre-sized FIFO rings share one backing block: machine construction
+	// costs a fixed number of allocations regardless of channel count.
+	fifoCount, ringTotal := 0, 0
+	for _, c := range cn.chans {
+		if c.Kind == FIFO {
+			fifoCount++
+			ringTotal += opts.FIFOCapacity[c.Name]
+		}
 	}
+	fifos := make([]fifoState, fifoCount)
+	boards := make([]blackboardState, len(cn.chans)-fifoCount)
+	var ring []Value
+	if ringTotal > 0 {
+		ring = make([]Value, ringTotal)
+	}
+	fi, bi := 0, 0
+	for cid, c := range cn.chans {
+		switch c.Kind {
+		case FIFO:
+			f := &fifos[fi]
+			fi++
+			if capa := opts.FIFOCapacity[c.Name]; capa > 0 {
+				f.buf, ring = ring[:capa:capa], ring[capa:]
+			}
+			m.chans[cid] = f
+		case Blackboard:
+			b := &boards[bi]
+			bi++
+			b.initial, b.hasInitial = c.Initial, c.HasInitial
+			b.reset()
+			m.chans[cid] = b
+		default:
+			m.chans[cid] = newChannelState(c) // panics on unknown kinds
+		}
+	}
+	m.outCap = opts.OutputCapacity
 	for pid, p := range cn.procs {
 		b := p.behavior()
 		if c, ok := b.(Cloner); ok {
@@ -322,7 +366,15 @@ func (c *JobContext) WriteOutput(channel string, v Value) {
 		c.fail("process %q wrote external output %q it does not own", c.p.Name, channel)
 		return
 	}
-	c.m.outputs[channel] = append(c.m.outputs[channel], Sample{K: c.k, Time: c.now, Value: v})
+	out := c.m.outputs[channel]
+	if out == nil {
+		// First write: apply the capacity hint, so a correctly sized
+		// hint means the sample slice never reallocates.
+		if capa := c.m.outCap[channel]; capa > 0 {
+			out = make([]Sample, 0, capa)
+		}
+	}
+	c.m.outputs[channel] = append(out, Sample{K: c.k, Time: c.now, Value: v})
 	if c.m.record {
 		c.m.trace = append(c.m.trace, Action{
 			Kind: ActWriteExt, Time: c.now, Proc: c.p.Name, K: c.k,

@@ -396,6 +396,7 @@ func (n *Network) CloneStructure(wcetScale rational.Rat) *Network {
 	for _, c := range n.Channels() {
 		nc := out.Connect(c.Writer, c.Reader, c.Name, c.Kind)
 		nc.Initial, nc.HasInitial = c.Initial, c.HasInitial
+		nc.DrainReads, nc.WriteGatedBy = c.DrainReads, c.WriteGatedBy
 	}
 	for _, e := range n.PriorityEdges() {
 		out.Priority(e[0], e[1])

@@ -25,9 +25,18 @@ func (f BehaviorFunc) Init() {}
 // Step implements Behavior.
 func (f BehaviorFunc) Step(ctx *JobContext) error { return f(ctx) }
 
+// nopBehavior is a comparable type so static analyses can recognize a
+// declared no-op (p.Behavior == NopBehavior) without executing it.
+type nopBehavior struct{}
+
+func (nopBehavior) Init()                  {}
+func (nopBehavior) Step(*JobContext) error { return nil }
+
 // NopBehavior is a Behavior that does nothing; useful for timing-only
-// analyses where functional content is irrelevant.
-var NopBehavior Behavior = BehaviorFunc(func(*JobContext) error { return nil })
+// analyses where functional content is irrelevant. A process with a nil
+// or NopBehavior body never touches its channels, and the static
+// dataflow analysis relies on that.
+var NopBehavior Behavior = nopBehavior{}
 
 // Process is an FPPN process: a deterministic behaviour attached one-to-one
 // to an event generator.

@@ -13,14 +13,18 @@ func ms(n int64) core.Time { return rational.Milli(n) }
 // golden diagnostics tests and exposed through fppnvet -app so every
 // diagnostic code can be demonstrated from the command line:
 //
-//   - "broken-model" violates the hard model rules (FPPN001–005);
+//   - "broken-model" violates the hard model rules (FPPN001–005) and
+//     demonstrates the FP completion suggestions (FPPN016);
 //   - "broken-timing" is a valid, schedulable model whose timing triggers
 //     every warning rule (FPPN006–012);
+//   - "broken-flow" is a valid, schedulable model whose token flow
+//     triggers the static dataflow rules (FPPN014, FPPN015, FPPN017);
 //   - "empty" triggers FPPN013.
 func Fixtures() map[string]func() *core.Network {
 	return map[string]func() *core.Network{
 		"broken-model":  BrokenModel,
 		"broken-timing": BrokenTiming,
+		"broken-flow":   BrokenFlow,
 		"empty":         func() *core.Network { return core.NewNetwork("empty") },
 	}
 }
@@ -127,5 +131,44 @@ func BrokenTiming() *core.Network {
 	n.AddPeriodic("prime1009", ms(1009), ms(1009), ms(1), core.NopBehavior)
 	n.Output("prime997", "OUT_997")
 	n.Output("prime1009", "OUT_1009")
+	return n
+}
+
+// stub carries the default channel access profile (one write per writer
+// job, at most one read per reader job), unlike core.NopBehavior which
+// declares that the process touches no channels at all. The dataflow
+// fixture needs processes that do move tokens; lint never executes them.
+var stub = core.BehaviorFunc(func(*core.JobContext) error { return nil })
+
+// BrokenFlow builds a valid, schedulable network whose token flow
+// triggers the static dataflow rules: a 100 ms writer into a 400 ms
+// single-token reader grows the backlog without bound (FPPN014), a 1 ms
+// writer into a 400 ms draining reader peaks at 400 queued tokens
+// (FPPN017), and three processes with WCET equal to their common 400 ms
+// deadline force a three-processor demand on top (FPPN015).
+func BrokenFlow() *core.Network {
+	n := core.NewNetwork("broken-flow")
+
+	// FPPN014: four tokens in, one token out per hyperperiod.
+	n.AddPeriodic("fastW", ms(100), ms(100), ms(1), stub)
+	n.AddPeriodic("slowR", ms(400), ms(400), ms(1), stub)
+	n.Connect("fastW", "slowR", "growing", core.FIFO)
+	n.Priority("fastW", "slowR")
+	n.Output("slowR", "OUT_slow")
+
+	// FPPN017: the drain keeps the channel balanced, but 400 tokens
+	// accumulate before each drain.
+	n.AddPeriodic("burstW", ms(1), ms(1), ms(1), stub)
+	n.AddPeriodic("drainR", ms(400), ms(400), ms(1), stub)
+	n.Connect("burstW", "drainR", "deep", core.FIFO).Drain()
+	n.Priority("burstW", "drainR")
+	n.Output("drainR", "OUT_drain")
+
+	// FPPN015: three jobs of 400 ms of work each against a shared
+	// [0, 400] ms window.
+	for _, name := range []string{"h1", "h2", "h3"} {
+		n.AddPeriodic(name, ms(400), ms(400), ms(400), core.NopBehavior)
+		n.Output(name, "OUT_"+name)
+	}
 	return n
 }

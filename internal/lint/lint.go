@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/staticflow"
 )
 
 // Severity ranks findings. Higher is worse.
@@ -161,6 +162,9 @@ type Options struct {
 	// MaxPeriodRatio triggers FPPN012 when H divided by the smallest
 	// period exceeds it (default 1000; reduced FMS has 50).
 	MaxPeriodRatio int64
+	// MaxBufferHighWater triggers the buffer rule FPPN017 when a FIFO's
+	// static high-water bound exceeds it (default 256).
+	MaxBufferHighWater int
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +176,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPeriodRatio == 0 {
 		o.MaxPeriodRatio = 1000
+	}
+	if o.MaxBufferHighWater == 0 {
+		o.MaxBufferHighWater = 256
 	}
 	return o
 }
@@ -195,6 +202,11 @@ type context struct {
 
 	problems   []core.Problem  // cached core problem lists (error rules)
 	observable map[string]bool // cached external-output reachability
+
+	bufferTried   bool                      // static buffer sweep attempted
+	bufferProfile *staticflow.BufferProfile // nil when skipped or failed
+	suggestTried  bool                      // FP completion computed
+	suggest       []staticflow.Suggestion
 }
 
 func (c *context) addf(r Rule, subjectKind, subject, fix, format string, args ...any) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rational"
+	"repro/internal/staticflow"
 )
 
 // Diagnostic codes. FPPN001–005 are the error-severity rules shared with
@@ -26,6 +27,13 @@ const (
 	CodeDeadProcess    = "FPPN011"
 	CodeHyperperiod    = "FPPN012"
 	CodeEmptyNetwork   = "FPPN013"
+	// FPPN014–017 are backed by the closed-form dataflow analyses of
+	// internal/staticflow; they run only on well-formed networks whose
+	// hyperperiod frame stays within Options.MaxFrameJobs.
+	CodeUnbalancedChannel = "FPPN014"
+	CodeDemandBound       = "FPPN015"
+	CodeFPSuggestion      = "FPPN016"
+	CodeBufferBound       = "FPPN017"
 )
 
 // Rules is the ordered diagnostic registry. Run executes the rules in this
@@ -83,17 +91,41 @@ var Rules = []Rule{
 		Title: "empty network",
 		Ref:   "§III-A (nothing to derive a task graph from)",
 		run:   runEmptyNetwork},
+	{Code: CodeUnbalancedChannel, Severity: Warning,
+		Title: "unbalanced channel",
+		Ref:   "§II-B (FIFO queues must stay bounded; SDF balance equations)",
+		run:   runUnbalancedChannels},
+	{Code: CodeDemandBound, Severity: Warning,
+		Title: "processor demand exceeds capacity",
+		Ref:   "Prop. 3.1 (processor-demand criterion bounds MinProcessors from below)",
+		run:   runDemandBound},
+	{Code: CodeFPSuggestion, Severity: Warning,
+		Title: "suggested FP completion edge",
+		Ref:   "Prop. 2.1 (a minimal acyclic edge set restores FP coverage)",
+		run:   runFPSuggestions},
+	{Code: CodeBufferBound, Severity: Warning,
+		Title: "FIFO high-water above budget",
+		Ref:   "§II-B (static buffer bound exceeds the provisioning budget)",
+		run:   runBufferBounds},
 }
 
 // runCoreProblems converts the core problems carrying the rule's
 // diagnostic code into findings. The problem lists are computed lazily
-// once per run.
+// once per run. FPPN003 findings get their generic either-direction fix
+// replaced by the definitive edge from the static FP completion, which
+// is guaranteed not to close a cycle.
 func runCoreProblems(c *context, r Rule) {
 	for _, p := range c.coreProblems() {
 		if p.Code != r.Code {
 			continue
 		}
-		c.addf(r, p.SubjectKind, p.Subject, p.Fix, "%s", p.Message)
+		fix := p.Fix
+		if p.Code == core.CodeFPCoverage {
+			if s, ok := c.suggestionFor(p.Subject); ok {
+				fix = fmt.Sprintf("add Priority(%q, %q)", s.Hi, s.Lo)
+			}
+		}
+		c.addf(r, p.SubjectKind, p.Subject, fix, "%s", p.Message)
 	}
 }
 
@@ -359,6 +391,177 @@ func runHyperperiod(c *context, r Rule) {
 			"harmonize the process periods (cf. the paper's FMS reduction 1600 ms → 400 ms)",
 			"hyperperiod %vs spans %d jobs per frame (H/min-period = %d); non-harmonic periods blow the task graph up",
 			h, jobs, ratio)
+	}
+}
+
+// frameJobEstimate returns the job count of one hyperperiod frame of the
+// raw periods (no server substitution), or false when it cannot be
+// computed or the LCM overflows: the cheap admission check for the
+// static dataflow rules.
+func (c *context) frameJobEstimate() (jobs int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			jobs, ok = 0, false
+		}
+	}()
+	h, err := core.Hyperperiod(c.net, nil)
+	if err != nil {
+		return 0, false
+	}
+	for _, p := range c.net.Processes() {
+		t := p.Period()
+		if t.Sign() <= 0 {
+			return 0, false
+		}
+		jobs += h.Div(t).Floor() * int64(p.Burst())
+	}
+	return jobs, true
+}
+
+// maxStaticSweepJobs caps the two-frame buffer sweep regardless of how
+// far Options.MaxFrameJobs is raised: unlike the threshold rules, the
+// sweep actually enumerates the frame, so it keeps its own hard budget.
+const maxStaticSweepJobs = 100_000
+
+// staticProfile lazily computes the 2-frame static buffer sweep behind
+// FPPN014 and FPPN017. It returns nil — silently skipping those rules —
+// on ill-formed networks (the error rules already fired and the
+// zero-delay order is undefined) and on frames larger than
+// Options.MaxFrameJobs (FPPN012 covers those).
+func (c *context) staticProfile() *staticflow.BufferProfile {
+	if c.bufferTried {
+		return c.bufferProfile
+	}
+	c.bufferTried = true
+	if len(c.net.Problems()) > 0 {
+		return nil
+	}
+	budget := int64(c.opts.MaxFrameJobs)
+	if budget > maxStaticSweepJobs {
+		budget = maxStaticSweepJobs
+	}
+	if jobs, ok := c.frameJobEstimate(); !ok || 2*jobs > budget {
+		return nil
+	}
+	p, err := staticflow.Buffers(c.net, 2, nil)
+	if err != nil {
+		return nil
+	}
+	c.bufferProfile = p
+	return p
+}
+
+// runUnbalancedChannels warns about FIFO channels whose backlog grows
+// strictly from hyperperiod to hyperperiod: the producer outpaces the
+// consumer and no finite buffer suffices in the long run.
+func runUnbalancedChannels(c *context, r Rule) {
+	p := c.staticProfile()
+	if p == nil {
+		return
+	}
+	for _, cb := range p.Channels() {
+		if !cb.Unbalanced {
+			continue
+		}
+		n := len(cb.EndOfFrameBacklog)
+		c.addf(r, "channel", cb.Name,
+			fmt.Sprintf("drain the channel in %q (Drain()), slow %q, or speed %q up", cb.Reader, cb.Writer, cb.Reader),
+			"channel %q: writer %q outpaces reader %q; the backlog grows from %d to %d tokens across consecutive hyperperiods and no finite FIFO suffices",
+			cb.Name, cb.Writer, cb.Reader, cb.EndOfFrameBacklog[n-2], cb.EndOfFrameBacklog[n-1])
+	}
+}
+
+// runBufferBounds warns about balanced FIFO channels whose static
+// high-water mark exceeds the provisioning budget; unbalanced channels
+// are FPPN014's concern.
+func runBufferBounds(c *context, r Rule) {
+	p := c.staticProfile()
+	if p == nil {
+		return
+	}
+	for _, cb := range p.Channels() {
+		if cb.Kind != core.FIFO || cb.Unbalanced || cb.HighWater <= c.opts.MaxBufferHighWater {
+			continue
+		}
+		c.addf(r, "channel", cb.Name,
+			"rebalance the writer/reader rates or raise Options.MaxBufferHighWater",
+			"channel %q: static FIFO high-water mark is %d tokens, above the provisioning budget of %d",
+			cb.Name, cb.HighWater, c.opts.MaxBufferHighWater)
+	}
+}
+
+// maxDemandJobs caps the corner sweep of the demand rule: the sweep
+// visits up to (arrival, deadline) = jobs² pairs, so frames past this
+// budget (a million corners) are skipped (FPPN012 flags them anyway).
+const maxDemandJobs = 1000
+
+// runDemandBound warns when the processor-demand criterion already rules
+// out a schedule on the assumed capacity: some window must contain more
+// execution time than Options.Processors can serve.
+func runDemandBound(c *context, r Rule) {
+	if len(c.coreProblems()) > 0 {
+		return // Demand requires a schedulable network
+	}
+	if jobs, ok := c.frameJobEstimate(); !ok || jobs > int64(c.opts.MaxFrameJobs) || jobs > maxDemandJobs {
+		return
+	}
+	rep, err := staticflow.Demand(c.net)
+	if err != nil {
+		return
+	}
+	if rep.LowerBound <= c.opts.Processors {
+		return
+	}
+	c.addf(r, "network", c.net.Name,
+		fmt.Sprintf("schedule on at least %d processors or reduce WCETs", rep.LowerBound),
+		"processor demand in [%vs, %vs] is %vs, forcing at least %d processors (assumed capacity %d)",
+		rep.Critical.Start, rep.Critical.End, rep.Critical.Demand, rep.LowerBound, c.opts.Processors)
+}
+
+// fpSuggestions lazily computes the static FP completion.
+func (c *context) fpSuggestions() []staticflow.Suggestion {
+	if !c.suggestTried {
+		c.suggestTried = true
+		c.suggest = staticflow.SuggestFP(c.net)
+	}
+	return c.suggest
+}
+
+// suggestionFor returns the suggested edge covering the given channel,
+// matching either endpoint orientation (one edge can cover several
+// channels between the same pair).
+func (c *context) suggestionFor(channel string) (staticflow.Suggestion, bool) {
+	ch := c.net.Channel(channel)
+	if ch == nil {
+		return staticflow.Suggestion{}, false
+	}
+	for _, s := range c.fpSuggestions() {
+		if (s.Hi == ch.Writer && s.Lo == ch.Reader) || (s.Hi == ch.Reader && s.Lo == ch.Writer) {
+			return s, true
+		}
+	}
+	return staticflow.Suggestion{}, false
+}
+
+// runFPSuggestions emits the machine-applicable FPPN003 fix: when
+// coverage is incomplete, one finding per suggested edge of the minimal
+// acyclic completion (fppnvet -suggest-fp prints the same set).
+func runFPSuggestions(c *context, r Rule) {
+	broken := false
+	for _, p := range c.coreProblems() {
+		if p.Code == core.CodeFPCoverage {
+			broken = true
+			break
+		}
+	}
+	if !broken {
+		return
+	}
+	for _, s := range c.fpSuggestions() {
+		c.addf(r, "channel", s.Channel,
+			fmt.Sprintf("add Priority(%q, %q)", s.Hi, s.Lo),
+			"adding functional priority %q → %q completes the FP coverage of %q (and every other channel between the pair) without creating a cycle",
+			s.Hi, s.Lo, s.Channel)
 	}
 }
 

@@ -175,7 +175,12 @@ func (p *Plan) RunConcurrent(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{Inputs: cfg.Inputs})
+	fifoCap, outCap := p.machineCapacities(cfg.Frames)
+	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{
+		Inputs:         cfg.Inputs,
+		FIFOCapacity:   fifoCap,
+		OutputCapacity: outCap,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -21,11 +21,13 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/rational"
 	"repro/internal/sched"
+	"repro/internal/staticflow"
 	"repro/internal/taskgraph"
 )
 
@@ -368,6 +370,40 @@ type Plan struct {
 	// relPids[pid] lists the pids FP'-related to pid (including itself),
 	// for the pipelined cross-frame precedence rule.
 	relPids [][]int
+	// buffers is the eventless two-frame static buffer profile, used to
+	// preallocate FIFO rings and output slices in Run/RunConcurrent. nil
+	// when the sweep was skipped (oversized frame); capacities are hints
+	// only, so execution is identical either way.
+	buffers *staticflow.BufferProfile
+
+	// Capacity maps are cached per frame count: the maps are read-only
+	// for the machine, so repeated runs of the same plan share them
+	// instead of rebuilding two maps per run.
+	capMu     sync.Mutex
+	capFrames int
+	capFIFO   map[string]int
+	capOut    map[string]int
+}
+
+// maxProfiledFrameJobs skips the compile-time buffer sweep on frames too
+// large to enumerate twice more; preallocation is an optimization, not a
+// requirement.
+const maxProfiledFrameJobs = 100_000
+
+// machineCapacities returns the FIFO ring and external-output capacity
+// hints for a run of the given frame count.
+func (p *Plan) machineCapacities(frames int) (fifo, output map[string]int) {
+	if p.buffers == nil {
+		return nil, nil
+	}
+	p.capMu.Lock()
+	defer p.capMu.Unlock()
+	if p.capFrames != frames {
+		p.capFIFO = p.buffers.FIFOCapacities(frames)
+		p.capOut = staticflow.OutputCapacities(p.tg.Net, frames)
+		p.capFrames = frames
+	}
+	return p.capFIFO, p.capOut
 }
 
 // Compile lowers a static schedule into an execution plan. It validates
@@ -423,6 +459,15 @@ func Compile(s *sched.Schedule) (*Plan, error) {
 			if tg.Related(cn.ProcName(a), cn.ProcName(b)) {
 				p.relPids[a] = append(p.relPids[a], b)
 			}
+		}
+	}
+	// Static buffer profile for FIFO/output preallocation. The sweep is
+	// eventless (the plan is compiled before any event schedule exists),
+	// so sporadic writers may push occupancy past the hint at run time —
+	// harmless, because capacities are hints and rings grow on demand.
+	if n <= maxProfiledFrameJobs {
+		if prof, err := staticflow.Buffers(tg.Net, 2, nil); err == nil {
+			p.buffers = prof
 		}
 	}
 	return p, nil

@@ -24,9 +24,12 @@ func (p *Plan) Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	fifoCap, outCap := p.machineCapacities(cfg.Frames)
 	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{
-		Inputs:      cfg.Inputs,
-		RecordTrace: cfg.RecordTrace,
+		Inputs:         cfg.Inputs,
+		RecordTrace:    cfg.RecordTrace,
+		FIFOCapacity:   fifoCap,
+		OutputCapacity: outCap,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,89 @@
+package staticflow
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Suggestion is one proposed functional-priority edge Hi -> Lo,
+// together with the first channel (in insertion order) whose coverage
+// it completes.
+type Suggestion struct {
+	Channel string
+	Hi, Lo  string
+}
+
+// SuggestFP returns a minimal set of functional-priority edges that,
+// added to the network, covers every channel whose writer and reader
+// are not yet FP-related (the machine-applicable fix for FPPN003).
+//
+// Coverage requires a direct edge per uncovered (writer, reader) pair,
+// so the set is minimal by construction: one edge per distinct
+// uncovered pair, deduplicated across channels sharing endpoints.
+// Orientation preserves acyclicity: an edge is oriented writer -> reader
+// (the data-flow direction, matching the paper's examples) unless the
+// reader already reaches the writer through existing FP edges or
+// earlier suggestions, in which case it is flipped — adding w -> r when
+// no r ⇝ w path exists can never create a new cycle. The result is
+// deterministic: channels are visited in insertion order.
+func SuggestFP(net *core.Network) []Suggestion {
+	adj := make(map[string]map[string]bool)
+	addEdge := func(hi, lo string) {
+		if adj[hi] == nil {
+			adj[hi] = make(map[string]bool)
+		}
+		adj[hi][lo] = true
+	}
+	for _, e := range net.PriorityEdges() {
+		addEdge(e[0], e[1])
+	}
+	covered := make(map[[2]string]bool)
+
+	var out []Suggestion
+	for _, c := range net.Channels() {
+		w, r := c.Writer, c.Reader
+		if w == r || net.Process(w) == nil || net.Process(r) == nil {
+			continue
+		}
+		if net.PriorityRelated(w, r) || covered[[2]string{w, r}] || covered[[2]string{r, w}] {
+			continue
+		}
+		hi, lo := w, r
+		if reaches(adj, r, w) {
+			hi, lo = r, w
+		}
+		addEdge(hi, lo)
+		covered[[2]string{w, r}] = true
+		out = append(out, Suggestion{Channel: c.Name, Hi: hi, Lo: lo})
+	}
+	return out
+}
+
+// reaches reports whether a directed path from -> ... -> to exists.
+func reaches(adj map[string]map[string]bool, from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		next := make([]string, 0, len(adj[p]))
+		for q := range adj[p] {
+			next = append(next, q)
+		}
+		sort.Strings(next) // deterministic visit order
+		for _, q := range next {
+			if q == to {
+				return true
+			}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return false
+}
