@@ -13,10 +13,12 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/export"
+	"repro/internal/feas"
 	"repro/internal/platform"
 	"repro/internal/rational"
 	"repro/internal/rt"
 	"repro/internal/sched"
+	"repro/internal/staticflow"
 	"repro/internal/taskgraph"
 	"repro/internal/unisched"
 )
@@ -48,6 +50,7 @@ func main() {
 	fig7()
 	propositions()
 	portfolio()
+	feasibility()
 	toolflow()
 
 	fmt.Println()
@@ -321,6 +324,121 @@ func portfolio() {
 	parSJSON, _ := export.MarshalIndent(export.Schedule(parS))
 	row("§III-B", "portfolio schedule workers=1 vs 4", "byte-identical",
 		fmt.Sprintf("%v", seqSJSON == parSJSON), seqSJSON == parSJSON)
+}
+
+// verdictSummary renders one report's per-test verdicts compactly;
+// certified verdicts are starred.
+func verdictSummary(rep *feas.Report) string {
+	out := ""
+	for i, res := range rep.Results {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%s", res.Test, res.Verdict)
+		if res.Certified {
+			out += "*"
+		}
+	}
+	return out
+}
+
+// feasibility cross-checks the sporadic-DAG schedulability suite
+// (internal/feas) against the exact scheduler on the paper applications:
+// per-test verdicts at the paper's processor counts plus the one-sided
+// soundness sandwich between staticflow.Demand and sched.MinProcessors.
+func feasibility() {
+	sigTG, err := taskgraph.Derive(signal.New())
+	if err != nil {
+		row("Feas", "signal derivation", "succeeds", err.Error(), false)
+		return
+	}
+	r1, err := feas.Analyze(sigTG, 1, feas.Options{})
+	if err != nil {
+		row("Feas", "signal suite at M=1", "runs", err.Error(), false)
+		return
+	}
+	allInf := true
+	for _, res := range r1.Results {
+		allInf = allInf && res.Verdict == feas.Infeasible
+	}
+	row("Feas", "signal verdicts at M=1 (load 1.5)", "infeasible",
+		verdictSummary(r1), allInf)
+	r2, _ := feas.Analyze(sigTG, 2, feas.Options{})
+	noneInf := true
+	for _, res := range r2.Results {
+		noneInf = noneInf && res.Verdict != feas.Infeasible
+	}
+	row("Feas", "signal verdicts at M=2 = MinProcessors", "not infeasible",
+		verdictSummary(r2), noneInf)
+
+	fftTG, _ := taskgraph.Derive(fft.New())
+	fr, _ := feas.Analyze(fftTG, 1, feas.Options{})
+	rta, ok := fr.Result(feas.RTA)
+	row("Feas", "FFT response-time test at M=1 (load 0.93)", "certified feasible",
+		verdictSummary(fr), ok && rta.Verdict == feas.Feasible && rta.Certified)
+
+	ovTG, _ := taskgraph.Derive(fft.NewWithOverheadJob())
+	or, _ := feas.Analyze(ovTG, 1, feas.Options{})
+	lb := or.Workload.MinProcessorsLB()
+	minS, err := sched.MinProcessors(ovTG, len(ovTG.Jobs)+1)
+	row("Feas", "FFT+overhead load bound = MinProcessors", "2 processors",
+		fmt.Sprintf("lb %d, exact %d (err=%v)", lb, minS.M, err),
+		err == nil && lb == 2 && minS.M == 2)
+
+	fmsTG, _ := taskgraph.Derive(fms.New())
+	mr, _ := feas.Analyze(fmsTG, 1, feas.Options{})
+	edf, ok := mr.Result(feas.EDF)
+	row("Feas", "FMS exact EDF verdict at M=1 (load 0.23)", "feasible",
+		verdictSummary(mr), ok && edf.Verdict == feas.Feasible)
+
+	// Soundness sandwich on every app at 1, 2 and 4 processors: no test
+	// may claim feasibility below the demand bound, certification must be
+	// realized by the list scheduler, and infeasibility must sit strictly
+	// below the exact minimum.
+	sound := true
+	apps := []struct {
+		name  string
+		build func() *core.Network
+	}{
+		{"signal", signal.New}, {"fft", fft.New},
+		{"fft-overhead", fft.NewWithOverheadJob}, {"fms", fms.New},
+	}
+	for _, app := range apps {
+		net := app.build()
+		tg, err := taskgraph.Derive(net)
+		if err != nil {
+			sound = false
+			break
+		}
+		dem, demErr := staticflow.Demand(net)
+		oracle, oracleErr := sched.MinProcessors(tg, len(tg.Jobs)+1)
+		for _, m := range []int{1, 2, 4} {
+			rep, err := feas.Analyze(tg, m, feas.Options{})
+			if err != nil {
+				sound = false
+				continue
+			}
+			for _, res := range rep.Results {
+				switch res.Verdict {
+				case feas.Feasible:
+					if demErr == nil && m < dem.LowerBound {
+						sound = false
+					}
+					if res.Certified {
+						if _, err := sched.FindFeasible(tg, m); err != nil {
+							sound = false
+						}
+					}
+				case feas.Infeasible:
+					if oracleErr == nil && oracle.M <= m {
+						sound = false
+					}
+				}
+			}
+		}
+	}
+	row("Feas", "soundness sandwich (4 apps × M ∈ {1,2,4})", "demand ≤ feas ≤ MinProcessors",
+		fmt.Sprintf("%v", sound), sound)
 }
 
 func toolflow() {

@@ -16,6 +16,7 @@
 //	ref, _ := fppn.RunZeroDelay(net, horizon, fppn.ZeroDelayOptions{...})
 //
 //	tg, _ := fppn.DeriveTaskGraph(net)        // Section III-A
+//	fr, _ := fppn.Schedulability(tg, 2, fppn.FeasOptions{}) // sporadic-DAG tests
 //	s, _ := fppn.FindFeasible(tg, 2)          // Section III-B
 //	rep, _ := fppn.Run(s, fppn.RunConfig{Frames: 10}) // Section IV
 //
@@ -29,6 +30,7 @@ package fppn
 import (
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/lint"
 	"repro/internal/platform"
 	"repro/internal/rational"
@@ -263,7 +265,7 @@ const (
 // Lint runs the structured diagnostics engine over the network: the
 // error-severity findings are exactly the ValidateSchedulable rules, and
 // warning rules flag timing and topology hazards (see DESIGN.md for the
-// FPPN001–013 catalogue).
+// FPPN001–019 catalogue).
 func Lint(net *Network, opts LintOptions) *LintReport { return lint.Run(net, opts) }
 
 // LintRules returns a copy of the diagnostic registry, in report order.
@@ -271,6 +273,48 @@ func LintRules() []LintRule {
 	out := make([]LintRule, len(lint.Rules))
 	copy(out, lint.Rules)
 	return out
+}
+
+// Schedulability-analysis types (package internal/feas).
+type (
+	// FeasReport is the outcome of the schedulability suite at one
+	// processor count.
+	FeasReport = feas.Report
+	// FeasResult is one test's structured verdict.
+	FeasResult = feas.Result
+	// FeasWorkload is the shared volume / critical-path / load extraction.
+	FeasWorkload = feas.Workload
+	// FeasTest identifies one schedulability test (EDF, DM or RTA).
+	FeasTest = feas.Test
+	// FeasVerdict is feasible, infeasible or unknown.
+	FeasVerdict = feas.Verdict
+	// FeasOptions tunes an analysis run.
+	FeasOptions = feas.Options
+)
+
+// Schedulability tests and verdicts.
+const (
+	// FeasEDF is the deadline-based test (demand criterion + chain bound).
+	FeasEDF = feas.EDF
+	// FeasDM is the deadline-monotonic fixed-priority test.
+	FeasDM = feas.DM
+	// FeasRTA is the iterative response-time refinement.
+	FeasRTA = feas.RTA
+	// Feasible means the test proves a deadline-meeting schedule exists.
+	Feasible = feas.Feasible
+	// Infeasible means the test proves no schedule can meet all deadlines.
+	Infeasible = feas.Infeasible
+	// UnknownFeasibility means the test can neither prove nor refute.
+	UnknownFeasibility = feas.Unknown
+)
+
+// Schedulability runs the sporadic-DAG schedulability suite on the
+// derived task graph for m identical processors: per-test verdicts with
+// witnesses and bounds, plus the workload extraction (volume, span,
+// precedence-aware load). Feasible-certified verdicts guarantee
+// FindFeasible succeeds; infeasible verdicts imply MinProcessors > m.
+func Schedulability(tg *TaskGraph, m int, opts FeasOptions) (*FeasReport, error) {
+	return feas.Analyze(tg, m, opts)
 }
 
 // Baseline types (package internal/unisched).

@@ -117,6 +117,36 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPublicAPISchedulability(t *testing.T) {
+	tg, err := fppn.DeriveTaskGraph(buildPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fppn.Schedulability(tg, 2, fppn.FeasOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Verdict(); got != fppn.Feasible {
+		t.Errorf("pipeline at m=2: combined verdict %v, want feasible", got)
+	}
+	edf, ok := rep.Result(fppn.FeasEDF)
+	if !ok || edf.Verdict == fppn.UnknownFeasibility {
+		t.Errorf("EDF result = %+v (ok=%v), want a definite verdict", edf, ok)
+	}
+	if rep.Workload.Jobs != len(tg.Jobs) || rep.Workload.Volume.Sign() <= 0 {
+		t.Errorf("workload %+v does not match the %d-job frame", rep.Workload, len(tg.Jobs))
+	}
+	// A certified verdict promises the list scheduler succeeds.
+	for _, res := range rep.Results {
+		if res.Certified {
+			if _, err := fppn.FindFeasible(tg, 2); err != nil {
+				t.Errorf("%s certified at m=2 but FindFeasible fails: %v", res.Test, err)
+			}
+			break
+		}
+	}
+}
+
 func TestPublicAPIUniprocessorBaseline(t *testing.T) {
 	net := buildPipeline()
 	pr := fppn.UniPriority{"sensor": 0, "filter": 1, "actuator": 2, "gainer": 3}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/apps/fms"
@@ -209,6 +210,15 @@ func TestStatsEmptySchedule(t *testing.T) {
 	if st.MinSlack.Sign() != 0 {
 		t.Errorf("MinSlack = %v with no jobs, want 0", st.MinSlack)
 	}
+	if st.Jobs != 0 {
+		t.Errorf("Jobs = %d with no jobs", st.Jobs)
+	}
+	if slack, ok := st.Slack(); ok {
+		t.Errorf("Slack() = %v, true with no jobs, want undefined", slack)
+	}
+	if !strings.Contains(st.String(), "minSlack=n/a") {
+		t.Errorf("String() = %q, want an n/a slack rendering", st.String())
+	}
 	if st.String() == "" || Table([]SchedStats{st}) == "" {
 		t.Error("empty schedule does not render")
 	}
@@ -241,5 +251,8 @@ func TestStatsSingleProcessor(t *testing.T) {
 	}
 	if !st.MinSlack.Equal(ms(90)) {
 		t.Errorf("MinSlack = %v, want 90ms", st.MinSlack)
+	}
+	if slack, ok := st.Slack(); !ok || !slack.Equal(ms(90)) {
+		t.Errorf("Slack() = %v (ok=%v), want 90ms, true", slack, ok)
 	}
 }

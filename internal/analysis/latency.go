@@ -29,18 +29,23 @@ type ChainLatency struct {
 	Sum Time
 }
 
-// Average returns Sum/Samples.
-func (c ChainLatency) Average() Time {
+// Average returns Sum/Samples and whether any sample was measured; with
+// zero samples the average is undefined and ok is false.
+func (c ChainLatency) Average() (Time, bool) {
 	if c.Samples == 0 {
-		return rational.Zero
+		return rational.Zero, false
 	}
-	return c.Sum.DivInt(int64(c.Samples))
+	return c.Sum.DivInt(int64(c.Samples)), true
 }
 
 // String renders the measurement.
 func (c ChainLatency) String() string {
+	avg, ok := c.Average()
+	if !ok {
+		return fmt.Sprintf("chain %v: no samples", c.Chain)
+	}
 	return fmt.Sprintf("chain %v: %d samples, best %vs, worst %vs, avg %vs",
-		c.Chain, c.Samples, c.Best, c.Worst, c.Average())
+		c.Chain, c.Samples, c.Best, c.Worst, avg)
 }
 
 // MeasureChainLatency extracts latencies from a report produced by rt.Run

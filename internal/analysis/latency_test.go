@@ -57,11 +57,23 @@ func TestMeasureChainLatency(t *testing.T) {
 	if !lat.Worst.Equal(ms(60)) || !lat.Best.Equal(ms(60)) {
 		t.Errorf("latency = [%v, %v], want 60ms constant", lat.Best, lat.Worst)
 	}
-	if !lat.Average().Equal(ms(60)) {
-		t.Errorf("average = %v", lat.Average())
+	if avg, ok := lat.Average(); !ok || !avg.Equal(ms(60)) {
+		t.Errorf("average = %v (ok=%v)", avg, ok)
 	}
 	if !strings.Contains(lat.String(), "worst") {
 		t.Error("String rendering broken")
+	}
+}
+
+// A measurement with zero samples has no average; both the accessor and
+// the rendering must say so instead of inventing a zero.
+func TestChainLatencyNoSamples(t *testing.T) {
+	var lat ChainLatency
+	if avg, ok := lat.Average(); ok || avg.Sign() != 0 {
+		t.Errorf("Average() on empty measurement = %v (ok=%v), want 0, false", avg, ok)
+	}
+	if !strings.Contains(lat.String(), "no samples") {
+		t.Errorf("String() = %q, want a no-samples rendering", lat.String())
 	}
 }
 

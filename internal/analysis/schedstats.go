@@ -20,9 +20,20 @@ type SchedStats struct {
 	Utilization rational.Rat
 	// PerProcBusy is the busy time of each processor within one frame.
 	PerProcBusy []Time
-	// MaxSlack is the largest deadline slack min_i (D_i − e_i) ... the
-	// minimum slack across jobs (negative when deadlines are missed).
+	// Jobs counts the frame's jobs (the population MinSlack minimizes
+	// over).
+	Jobs int
+	// MinSlack is the minimum deadline slack min_i (D_i − e_i) across
+	// jobs (negative when deadlines are missed). With no jobs it stays at
+	// its zero value but is undefined — use Slack for the explicit form.
 	MinSlack Time
+}
+
+// Slack returns the minimum deadline slack and whether the schedule has
+// any job to take the minimum over; with an empty frame the slack is
+// undefined and ok is false.
+func (st SchedStats) Slack() (Time, bool) {
+	return st.MinSlack, st.Jobs > 0
 }
 
 // Stats computes the statistics of a static schedule.
@@ -35,6 +46,7 @@ func Stats(s *sched.Schedule) SchedStats {
 		Misses:      len(s.Misses()),
 		Makespan:    s.Makespan(),
 		PerProcBusy: make([]Time, s.M),
+		Jobs:        len(tg.Jobs),
 	}
 	busy := rational.Zero
 	first := true
@@ -56,9 +68,13 @@ func Stats(s *sched.Schedule) SchedStats {
 
 // String renders the statistics on one line.
 func (st SchedStats) String() string {
-	return fmt.Sprintf("%v on M=%d: feasible=%v misses=%d makespan=%vs util=%.3f minSlack=%vs",
+	slack := "n/a"
+	if s, ok := st.Slack(); ok {
+		slack = fmt.Sprintf("%vs", s)
+	}
+	return fmt.Sprintf("%v on M=%d: feasible=%v misses=%d makespan=%vs util=%.3f minSlack=%s",
 		st.Heuristic, st.Processors, st.Feasible, st.Misses,
-		st.Makespan, st.Utilization.Float64(), st.MinSlack)
+		st.Makespan, st.Utilization.Float64(), slack)
 }
 
 // CompareHeuristics schedules the task graph with every heuristic on m

@@ -1,0 +1,47 @@
+package feas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps/fms"
+	"repro/internal/nettest"
+	"repro/internal/taskgraph"
+)
+
+// BenchmarkFeasFMS analyzes the paper's 812-job FMS frame at the CLI
+// default of two processors: the large-frame cost of the suite.
+func BenchmarkFeasFMS(b *testing.B) {
+	tg, err := taskgraph.Derive(fms.New())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(tg, 2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeasRandom100 analyzes 100 pre-derived random networks at two
+// processors per iteration: the differential suite's hot path.
+func BenchmarkFeasRandom100(b *testing.B) {
+	rng := rand.New(rand.NewSource(4242))
+	var graphs []*taskgraph.TaskGraph
+	for len(graphs) < 100 {
+		tg, err := taskgraph.Derive(nettest.Random(rng, nettest.Options{}))
+		if err != nil {
+			continue
+		}
+		graphs = append(graphs, tg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tg := range graphs {
+			if _, err := Analyze(tg, 2, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -19,12 +19,15 @@ func ms(n int64) core.Time { return rational.Milli(n) }
 //     every warning rule (FPPN006–012);
 //   - "broken-flow" is a valid, schedulable model whose token flow
 //     triggers the static dataflow rules (FPPN014, FPPN015, FPPN017);
+//   - "broken-feas" is a valid, schedulable model whose derived task
+//     graph triggers the schedulability rules (FPPN018, FPPN019);
 //   - "empty" triggers FPPN013.
 func Fixtures() map[string]func() *core.Network {
 	return map[string]func() *core.Network{
 		"broken-model":  BrokenModel,
 		"broken-timing": BrokenTiming,
 		"broken-flow":   BrokenFlow,
+		"broken-feas":   BrokenFeas,
 		"empty":         func() *core.Network { return core.NewNetwork("empty") },
 	}
 }
@@ -165,10 +168,32 @@ func BrokenFlow() *core.Network {
 	n.Output("drainR", "OUT_drain")
 
 	// FPPN015: three jobs of 400 ms of work each against a shared
-	// [0, 400] ms window.
+	// [0, 400] ms window. The schedulability suite sees the same three
+	// jobs through the derived task graph, so FPPN018 fires here too.
 	for _, name := range []string{"h1", "h2", "h3"} {
 		n.AddPeriodic(name, ms(400), ms(400), ms(400), core.NopBehavior)
 		n.Output(name, "OUT_"+name)
 	}
+	return n
+}
+
+// BrokenFeas builds a valid, schedulable model whose derived task graph
+// is infeasible at any capacity: a three-stage pipeline of 45 ms stages
+// against a shared 100 ms period and deadline. Each stage alone is fine
+// (FPPN007 stays silent), utilization is 1.35 (FPPN008 silent) and the
+// nominal demand bound fits two processors (FPPN015 silent: 135 ms
+// against a 100 ms window forces exactly two), but the precedence
+// adjustment squeezes every job window below its 45 ms WCET (FPPN019)
+// and the corner sweep finds 45 ms of chain-constrained work in a 10 ms
+// window (FPPN018).
+func BrokenFeas() *core.Network {
+	n := core.NewNetwork("broken-feas")
+	n.AddPeriodic("stageA", ms(100), ms(100), ms(45), stub)
+	n.AddPeriodic("stageB", ms(100), ms(100), ms(45), stub)
+	n.AddPeriodic("stageC", ms(100), ms(100), ms(45), stub)
+	n.Connect("stageA", "stageB", "ab", core.FIFO)
+	n.Connect("stageB", "stageC", "bc", core.FIFO)
+	n.PriorityChain("stageA", "stageB", "stageC")
+	n.Output("stageC", "OUT")
 	return n
 }

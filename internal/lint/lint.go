@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/staticflow"
 )
 
@@ -207,6 +208,11 @@ type context struct {
 	bufferProfile *staticflow.BufferProfile // nil when skipped or failed
 	suggestTried  bool                      // FP completion computed
 	suggest       []staticflow.Suggestion
+	feasTried     bool         // schedulability suite attempted
+	feasRep       *feas.Report // nil when skipped or failed
+	jobsTried     bool         // frame job estimate computed
+	jobsVal       int64
+	jobsOK        bool
 }
 
 func (c *context) addf(r Rule, subjectKind, subject, fix, format string, args ...any) {

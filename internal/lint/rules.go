@@ -5,8 +5,10 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/rational"
 	"repro/internal/staticflow"
+	"repro/internal/taskgraph"
 )
 
 // Diagnostic codes. FPPN001–005 are the error-severity rules shared with
@@ -34,6 +36,11 @@ const (
 	CodeDemandBound       = "FPPN015"
 	CodeFPSuggestion      = "FPPN016"
 	CodeBufferBound       = "FPPN017"
+	// FPPN018–019 are backed by the schedulability suite of internal/feas
+	// over the derived task graph; they run only on well-formed networks
+	// whose hyperperiod frame stays within maxFeasJobs.
+	CodeFeasLoad   = "FPPN018"
+	CodeFeasWindow = "FPPN019"
 )
 
 // Rules is the ordered diagnostic registry. Run executes the rules in this
@@ -107,6 +114,14 @@ var Rules = []Rule{
 		Title: "FIFO high-water above budget",
 		Ref:   "§II-B (static buffer bound exceeds the provisioning budget)",
 		run:   runBufferBounds},
+	{Code: CodeFeasLoad, Severity: Warning,
+		Title: "precedence-aware load exceeds capacity",
+		Ref:   "§III-B / Bonifaci et al. (load on ASAP/ALAP windows bounds MinProcessors)",
+		run:   runFeasLoad},
+	{Code: CodeFeasWindow, Severity: Warning,
+		Title: "derived job window cannot hold its WCET",
+		Ref:   "Def. 3.1 (ASAP + C > ALAP: infeasible at any capacity)",
+		run:   runFeasWindow},
 }
 
 // runCoreProblems converts the core problems carrying the rule's
@@ -396,9 +411,17 @@ func runHyperperiod(c *context, r Rule) {
 
 // frameJobEstimate returns the job count of one hyperperiod frame of the
 // raw periods (no server substitution), or false when it cannot be
-// computed or the LCM overflows: the cheap admission check for the
-// static dataflow rules.
-func (c *context) frameJobEstimate() (jobs int64, ok bool) {
+// computed or the LCM overflows: the admission check shared by the
+// static dataflow and schedulability rules, computed once per run.
+func (c *context) frameJobEstimate() (int64, bool) {
+	if !c.jobsTried {
+		c.jobsTried = true
+		c.jobsVal, c.jobsOK = c.countFrameJobs()
+	}
+	return c.jobsVal, c.jobsOK
+}
+
+func (c *context) countFrameJobs() (jobs int64, ok bool) {
 	defer func() {
 		if recover() != nil {
 			jobs, ok = 0, false
@@ -562,6 +585,93 @@ func runFPSuggestions(c *context, r Rule) {
 			fmt.Sprintf("add Priority(%q, %q)", s.Hi, s.Lo),
 			"adding functional priority %q → %q completes the FP coverage of %q (and every other channel between the pair) without creating a cycle",
 			s.Hi, s.Lo, s.Channel)
+	}
+}
+
+// maxFeasJobs caps the schedulability suite behind FPPN018/FPPN019:
+// deriving the task graph and running the chain bounds costs real time per
+// frame job, so large frames (the paper's 812-job FMS among them) are
+// skipped to keep lint's hot path flat — sized analyses belong to the
+// feas CLI surface, not the vet pass.
+const maxFeasJobs = 512
+
+// feasReport lazily derives the task graph and runs the schedulability
+// suite at the assumed capacity. nil silently skips FPPN018/FPPN019:
+// ill-formed networks (the error rules already fired), frames beyond
+// maxFeasJobs or Options.MaxFrameJobs, and failed derivations.
+func (c *context) feasReport() *feas.Report {
+	if c.feasTried {
+		return c.feasRep
+	}
+	c.feasTried = true
+	if len(c.coreProblems()) > 0 {
+		return nil
+	}
+	if jobs, ok := c.frameJobEstimate(); !ok || jobs > int64(c.opts.MaxFrameJobs) || jobs > maxFeasJobs {
+		return nil
+	}
+	c.feasRep = func() (rep *feas.Report) {
+		defer func() {
+			if recover() != nil {
+				rep = nil
+			}
+		}()
+		tg, err := taskgraph.Derive(c.net)
+		if err != nil {
+			return nil
+		}
+		r, err := feas.Analyze(tg, c.opts.Processors, feas.Options{})
+		if err != nil {
+			return nil
+		}
+		return r
+	}()
+	return c.feasRep
+}
+
+// runFeasLoad warns when the precedence-aware load of the derived task
+// graph — demand over (ASAP, ALAP) corner windows — already forces more
+// processors than assumed. Strictly stronger than FPPN015's nominal
+// demand bound: precedence chains squeeze the windows, raising the load.
+func runFeasLoad(c *context, r Rule) {
+	rep := c.feasReport()
+	if rep == nil {
+		return
+	}
+	lb := rep.Workload.MinProcessorsLB()
+	if lb <= c.opts.Processors {
+		return
+	}
+	w, ok := rep.Workload.Critical()
+	if !ok {
+		return
+	}
+	c.addf(r, "network", c.net.Name,
+		fmt.Sprintf("schedule on at least %d processors or break the long chains", lb),
+		"precedence-aware load %v forces at least %d processors (assumed capacity %d): window [%vs, %vs] must hold %vs of chain-constrained work",
+		rep.Workload.Load, lb, c.opts.Processors, w.Start, w.End, w.Demand)
+}
+
+// runFeasWindow warns when a derived job cannot fit its precedence-
+// adjusted window: the chain feeding it (ASAP) meets the chain after it
+// (ALAP) and the WCET no longer fits, so the job misses its deadline on
+// any number of processors. One finding per process, anchored at its
+// first violating job.
+func runFeasWindow(c *context, r Rule) {
+	rep := c.feasReport()
+	if rep == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, v := range rep.Workload.WindowViolations() {
+		if seen[v.Proc] {
+			continue
+		}
+		seen[v.Proc] = true
+		c.addf(r, "process", v.Proc,
+			fmt.Sprintf("shorten the chains around %q or extend deadlines along them", v.Proc),
+			"derived job %s cannot fit its precedence-adjusted window on any processor count: earliest completion %vs is past the latest allowed %vs",
+			v.Job, v.Complete, v.Deadline)
 	}
 }
 
