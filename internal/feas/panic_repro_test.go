@@ -1,0 +1,27 @@
+package feas
+
+import (
+	"testing"
+
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// Throwaway repro: huge arrivals force the rational fallback; MulInt(m)
+// in grahamReference overflows inside a parallel.ForEach worker.
+func TestPanicEscapesAnalyze(t *testing.T) {
+	huge := rational.New(int64(1)<<62, 1)
+	tg := &taskgraph.TaskGraph{Hyperperiod: huge}
+	for i := 0; i < 3; i++ {
+		tg.Jobs = append(tg.Jobs, &taskgraph.Job{
+			Index: i, Proc: "p", K: int64(i + 1),
+			Arrival:  huge,
+			Deadline: huge.Add(rational.New(10, 1)),
+			WCET:     rational.New(1, 1),
+		})
+		tg.Succ = append(tg.Succ, nil)
+		tg.Pred = append(tg.Pred, nil)
+	}
+	rep, err := Analyze(tg, 2, Options{})
+	t.Logf("rep=%v err=%v", rep, err)
+}
