@@ -15,8 +15,8 @@ vet:
 	$(GO) vet ./...
 
 # Run the repository's own determinism analyzers (internal/analyzers:
-# noclock, maporder, nakedgo, plus the interprocedural jobreach
-# call-graph pass) over the whole module.
+# noclock, maporder, nakedgo, plus the interprocedural jobreach and
+# planfreeze call-graph passes) over the whole module.
 vet-custom:
 	$(GO) run ./cmd/fppnlint-go .
 
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzDemandBoundBelowMinProcessors -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzFeasSoundVsMinProcessors -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzFeasNeverPanics -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/integration -run '^$$' -fuzz FuzzHBSoundVsConcurrentTrace -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

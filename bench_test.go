@@ -235,15 +235,35 @@ func BenchmarkFig7FMSRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rs := p.NewRunState()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := p.Run(cfg)
+		rep, err := rs.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(rep.Misses) != 0 {
 			b.Fatal("unexpected misses")
+		}
+	}
+}
+
+// BenchmarkHBVerifyFMS measures the happens-before determinism verifier
+// on the paper's largest plan: the reduced FMS with 812 jobs per frame.
+// One iteration builds the multi-frame HB graph, closes it, and checks
+// every conflicting access pair.
+func BenchmarkHBVerifyFMS(b *testing.B) {
+	s, _ := fmsRunFixture(b)
+	p, err := fppn.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := fppn.VerifyDeterminism(p); !v.RaceFree {
+			b.Fatalf("FMS plan not race-free: %v", v)
 		}
 	}
 }

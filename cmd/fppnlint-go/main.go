@@ -1,7 +1,8 @@
 // Command fppnlint-go runs the repository's custom determinism analyzers
 // (internal/analyzers: noclock, maporder, nakedgo, plus the
-// interprocedural jobreach call-graph pass) over a source tree. It is
-// the project's stdlib-only stand-in for a `go vet -vettool` driver.
+// interprocedural jobreach and planfreeze call-graph passes) over a
+// source tree. It is the project's stdlib-only stand-in for a
+// `go vet -vettool` driver.
 //
 // Usage:
 //

@@ -139,14 +139,16 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 		Inputs:         spec.inputs(frames),
 	}
 	// Compile the schedule once; the plan replays all requested frames
-	// (and any future re-runs) without re-interning the network.
+	// (and any future re-runs) without re-interning the network. The
+	// per-run state lives in a RunState so the plan stays shareable.
 	p, err := rt.Compile(s)
 	if err != nil {
 		return err
 	}
-	runFn := p.Run
+	rs := p.NewRunState()
+	runFn := rs.Run
 	if concurrent {
-		runFn = p.RunConcurrent
+		runFn = rs.RunConcurrent
 	}
 	rep, err := runFn(cfg)
 	if err != nil {

@@ -26,6 +26,8 @@ func TestExitStatuses(t *testing.T) {
 		{"broken-model", exitFindings},
 		{"broken-timing", exitFindings},
 		{"broken-flow", exitFindings},
+		{"broken-feas", exitFindings},
+		{"broken-hb", exitFindings},
 		{"empty", exitFindings},
 		{"ghost", exitUsage},
 	}
@@ -56,7 +58,7 @@ func TestExitStatuses(t *testing.T) {
 // The -json output must be byte-identical to the golden reports pinned in
 // internal/lint/testdata.
 func TestJSONMatchesGolden(t *testing.T) {
-	for _, app := range []string{"signal", "fft", "fms", "broken-model", "broken-timing", "broken-flow"} {
+	for _, app := range []string{"signal", "fft", "fms", "broken-model", "broken-timing", "broken-flow", "broken-feas", "broken-hb"} {
 		var out bytes.Buffer
 		if _, err := run(&out, options{app: app, m: 2, json: true}); err != nil {
 			t.Fatalf("run(%s): %v", app, err)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/hb"
 	"repro/internal/lint"
 	"repro/internal/platform"
 	"repro/internal/rational"
@@ -208,7 +209,13 @@ type (
 	Miss = rt.Miss
 	// ExecPlan is a compiled execution plan: the schedule lowered to
 	// interned, index-based tables for repeated Run/RunConcurrent calls.
+	// An ExecPlan is immutable after Compile and safe to share between
+	// goroutines; per-run mutable state lives in a RunState.
 	ExecPlan = rt.Plan
+	// RunState is the per-run execution context of a compiled plan:
+	// repeated-execution callers create one via ExecPlan.NewRunState and
+	// reuse it so capacity hints survive across runs.
+	RunState = rt.RunState
 )
 
 // Run executes the online static-order policy of Section IV as an exact
@@ -225,6 +232,28 @@ func RunConcurrent(s *Schedule, cfg RunConfig) (*Report, error) { return rt.RunC
 // invocation tables are computed once, and every ExecPlan.Run /
 // ExecPlan.RunConcurrent call replays them.
 func Compile(s *Schedule) (*ExecPlan, error) { return rt.Compile(s) }
+
+// Happens-before verification types (package internal/hb).
+type (
+	// HBVerdict is the outcome of the happens-before verification of a
+	// compiled plan: race-free, or a minimal unordered witness pair.
+	HBVerdict = hb.Verdict
+	// HBWitness is one unordered conflicting access pair.
+	HBWitness = hb.Witness
+	// HBAccess is one side of a witness: a job instance touching a
+	// resource in a specific frame.
+	HBAccess = hb.Access
+)
+
+// VerifyDeterminism constructs the happens-before partial order of a
+// compiled plan — per-processor static-order chains, the derived
+// precedence edges, and the frame timing bounds of Proposition 4.1 — and
+// checks that it orders every conflicting access pair (process state
+// between instances, channel writes against reads). A race-free verdict
+// certifies Proposition 2.1 for the plan: repeated Run and RunConcurrent
+// executions produce identical results. A failed verdict carries the
+// minimal unordered witness pair.
+func VerifyDeterminism(p *ExecPlan) HBVerdict { return hb.Verify(p) }
 
 // Code-generation types (package internal/codegen).
 type (
@@ -265,7 +294,7 @@ const (
 // Lint runs the structured diagnostics engine over the network: the
 // error-severity findings are exactly the ValidateSchedulable rules, and
 // warning rules flag timing and topology hazards (see DESIGN.md for the
-// FPPN001–019 catalogue).
+// FPPN001–020 catalogue).
 func Lint(net *Network, opts LintOptions) *LintReport { return lint.Run(net, opts) }
 
 // LintRules returns a copy of the diagnostic registry, in report order.

@@ -11,11 +11,14 @@
 //   - nakedgo: goroutines may only be spawned by the audited concurrency
 //     layers (internal/parallel, internal/plan, internal/rt).
 //
-// On top of the per-directory passes, the module-wide (interprocedural)
-// jobreach analyzer builds a function call graph over the whole module
-// and reports the same classes of nondeterminism when they are
-// *reachable* from job functions in internal/apps and examples, even
-// through layers of helpers in packages the direct passes don't guard.
+// On top of the per-directory passes, two module-wide (interprocedural)
+// analyzers share a function call graph over the whole module: jobreach
+// reports the same classes of nondeterminism when they are *reachable*
+// from job functions in internal/apps and examples, even through layers
+// of helpers in packages the direct passes don't guard; planfreeze
+// reports writes to the compiled artifacts (plan.Plan, core.CompiledNet)
+// reachable outside the compile entry points — compiled plans are
+// immutable shared values, per-run state belongs in plan.RunState.
 //
 // A finding can be suppressed by a "fppnlint:ignore" comment on, or on
 // the line above, the offending line. The cmd/fppnlint-go command drives

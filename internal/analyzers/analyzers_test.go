@@ -232,3 +232,80 @@ func TestSkipsTestFilesAndTestdata(t *testing.T) {
 		t.Fatalf("test files and testdata must be skipped, got:\n%s", messages(diags))
 	}
 }
+
+// Suppression must behave identically for every analyzer, per-directory
+// and module-wide alike: one fppnlint:ignore covers its own line and the
+// next, a comment anywhere else does not, and a single comment silences
+// every analyzer that fires on the covered line.
+func TestSuppressionAcrossAnalyzers(t *testing.T) {
+	// One go statement inside a Step method in internal/apps fires two
+	// analyzers at the same position (nakedgo syntactically, jobreach
+	// through the call graph); one trailing comment suppresses both.
+	multi := func(marker string) map[string]string {
+		return map[string]string{
+			"go.mod": "module fixture\n\ngo 1.22\n",
+			"internal/apps/demo/demo.go": `package demo
+
+type W struct{}
+
+func (W) Step() error {
+	go func() {}() ` + marker + `
+	return nil
+}
+`,
+		}
+	}
+	if diags := checkAll(t, multi("")); len(diags) != 2 {
+		t.Fatalf("want nakedgo + jobreach on the bare line, got:\n%s", messages(diags))
+	}
+	if diags := checkAll(t, multi("// fppnlint:ignore -- audited")); len(diags) != 0 {
+		t.Fatalf("one comment must silence every analyzer on the line, got:\n%s", messages(diags))
+	}
+
+	// A comment that is neither on the finding's line nor the line above
+	// suppresses nothing.
+	wrongLine := checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/apps/demo/demo.go": `package demo
+
+// fppnlint:ignore -- too far away to matter
+
+type W struct{}
+
+func (W) Step() error {
+	go func() {}()
+	return nil
+}
+`,
+	})
+	if len(wrongLine) != 2 {
+		t.Fatalf("distant comment must not suppress, got:\n%s", messages(wrongLine))
+	}
+
+	// Per-analyzer suppressed-finding coverage: each analyzer's defining
+	// violation with the marker on (or above) the offending line.
+	cases := map[string]map[string]string{
+		"noclock": {
+			"internal/core/x.go": "package core\n\nimport \"time\"\n\nfunc f() int64 {\n\treturn time.Now().Unix() // fppnlint:ignore -- frozen test stamp\n}\n",
+		},
+		"maporder": {
+			"internal/core/x.go": "package core\n\nfunc f(m map[string]int) []string {\n\tvar out []string\n\t// fppnlint:ignore -- order rechecked downstream\n\tfor k := range m {\n\t\tout = append(out, k)\n\t}\n\treturn out\n}\n",
+		},
+		"nakedgo": {
+			"internal/sched/x.go": "package sched\n\nfunc f() {\n\tgo func() {}() // fppnlint:ignore -- audited\n}\n",
+		},
+		"jobreach": {
+			"go.mod":                     "module fixture\n\ngo 1.22\n",
+			"internal/apps/demo/demo.go": "package demo\n\nimport \"time\"\n\ntype W struct{}\n\nfunc (W) Step() error {\n\t_ = time.Now() // fppnlint:ignore -- audited\n\treturn nil\n}\n",
+		},
+		"planfreeze": {
+			"go.mod":                "module fixture\n\ngo 1.22\n",
+			"internal/plan/plan.go": "package plan\n\ntype Plan struct{ n int }\n\nfunc (p *Plan) Bump() {\n\tp.n++ // fppnlint:ignore -- audited\n}\n",
+		},
+	}
+	for name, files := range cases {
+		if diags := only(checkAll(t, files), name); len(diags) != 0 {
+			t.Errorf("%s: suppressed finding still reported:\n%s", name, messages(diags))
+		}
+	}
+}

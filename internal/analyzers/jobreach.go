@@ -3,28 +3,19 @@ package analyzers
 // jobreach is the interprocedural determinism pass. The per-directory
 // analyzers only see nondeterminism that is syntactically present in the
 // guarded packages; a job behavior in internal/apps that calls a helper
-// which calls time.Now slips straight through. jobreach builds a
-// module-wide function call graph over go/ast (no type checker), seeds a
-// breadth-first search at every job function — Step/Init methods in
-// internal/apps and examples, plus any function wrapped in a
-// core.BehaviorFunc conversion — and reports each nondeterministic
-// operation (wall-clock read, global math/rand use, unsorted map-range
-// collection, naked go statement) reachable from one, together with the
-// call path that reaches it.
-//
-// Resolution is syntactic and deliberately conservative in both
-// directions: plain identifier calls bind to same-package functions,
-// pkg.F calls bind through the file's imports to module-internal
-// packages, and x.M calls (x not an import) bind to every same-package
-// method named M. Calls into packages outside the module, through
-// interfaces across packages, or via function values are not followed.
+// which calls time.Now slips straight through. jobreach takes the shared
+// module call graph (callgraph.go), seeds a breadth-first search at
+// every job function — Step/Init methods in internal/apps and examples,
+// plus any function wrapped in a core.BehaviorFunc conversion — and
+// reports each nondeterministic operation (wall-clock read, global
+// math/rand use, unsorted map-range collection, naked go statement)
+// reachable from one, together with the call path that reaches it.
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // jobRootDirs are the directories whose job functions seed the search:
@@ -46,125 +37,44 @@ type jobSink struct {
 	what string
 }
 
-// funcNode is one function, method, or behavior literal in the graph.
-type funcNode struct {
-	key   string // unique: importPath.name or importPath.Recv.name
-	label string // display: pkgname.name or pkgname.Recv.name
-	pkg   *ModulePackage
-	file  *ast.File
-	ftype *ast.FuncType
-	body  *ast.BlockStmt
-	pos   token.Pos
-	calls []string
-	sinks []jobSink
-}
-
-func (n *funcNode) addCall(key string) {
-	for _, c := range n.calls {
-		if c == key {
-			return
-		}
-	}
-	n.calls = append(n.calls, key)
-}
-
-// jobGraph is the module call graph plus the name indexes used to
-// resolve calls.
+// jobGraph is the module call graph plus jobreach's sink state: the
+// syntactic map inference sets per package and the sinks per node.
 type jobGraph struct {
-	pass    *ModulePass
-	nodes   map[string]*funcNode
-	order   []string                       // node keys in declaration order
-	funcs   map[string]map[string]string   // pkg path -> func name -> key
-	methods map[string]map[string][]string // pkg path -> method name -> keys
+	*callGraph
 	// maporder's syntactic map inference, per package path:
 	// struct fields / package vars with (nested) map types.
 	fieldMaps, fieldNested map[string]map[string]bool
 	pkgMaps, pkgNested     map[string]map[string]bool
+	sinks                  map[string][]jobSink // node key -> sinks
 }
 
 func runJobReach(p *ModulePass) {
 	g := &jobGraph{
-		pass:        p,
-		nodes:       make(map[string]*funcNode),
-		funcs:       make(map[string]map[string]string),
-		methods:     make(map[string]map[string][]string),
+		callGraph:   newCallGraph(p),
 		fieldMaps:   make(map[string]map[string]bool),
 		fieldNested: make(map[string]map[string]bool),
 		pkgMaps:     make(map[string]map[string]bool),
 		pkgNested:   make(map[string]map[string]bool),
+		sinks:       make(map[string][]jobSink),
 	}
-	g.index()
-	roots := g.roots()
-	for _, key := range g.order {
-		g.analyze(g.nodes[key])
-	}
-	g.search(roots)
-}
-
-// index declares every function and method of the module as a graph node
-// and collects the package-level map inference sets.
-func (g *jobGraph) index() {
-	for _, pkg := range g.pass.Packages {
-		g.funcs[pkg.Path] = make(map[string]string)
-		g.methods[pkg.Path] = make(map[string][]string)
+	for _, pkg := range p.Packages {
 		fields, fieldNested := make(map[string]bool), make(map[string]bool)
 		vars, varNested := make(map[string]bool), make(map[string]bool)
 		for _, file := range pkg.Files {
 			collectPackageMaps(file, fields, fieldNested, vars, varNested)
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				name := fn.Name.Name
-				node := &funcNode{
-					pkg:   pkg,
-					file:  file,
-					ftype: fn.Type,
-					body:  fn.Body,
-					pos:   fn.Pos(),
-				}
-				if recv := receiverType(fn); recv != "" {
-					node.key = pkg.Path + "." + recv + "." + name
-					node.label = file.Name.Name + "." + recv + "." + name
-					g.methods[pkg.Path][name] = append(g.methods[pkg.Path][name], node.key)
-				} else {
-					node.key = pkg.Path + "." + name
-					node.label = file.Name.Name + "." + name
-					g.funcs[pkg.Path][name] = node.key
-				}
-				g.nodes[node.key] = node
-				g.order = append(g.order, node.key)
-			}
 		}
 		g.fieldMaps[pkg.Path] = fields
 		g.fieldNested[pkg.Path] = fieldNested
 		g.pkgMaps[pkg.Path] = vars
 		g.pkgNested[pkg.Path] = varNested
 	}
-}
-
-// receiverType names a method's receiver type, unwrapping pointers and
-// type parameters.
-func receiverType(fn *ast.FuncDecl) string {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return ""
+	roots := g.roots()
+	for _, key := range g.order {
+		n := g.nodes[key]
+		g.resolveCalls(n)
+		g.sinks[key] = g.findSinks(n)
 	}
-	t := fn.Recv.List[0].Type
-	for {
-		switch u := t.(type) {
-		case *ast.StarExpr:
-			t = u.X
-		case *ast.IndexExpr:
-			t = u.X
-		case *ast.IndexListExpr:
-			t = u.X
-		case *ast.Ident:
-			return u.Name
-		default:
-			return "?"
-		}
-	}
+	g.search(roots)
 }
 
 // roots finds the job functions: Step/Init methods declared in the job
@@ -250,47 +160,6 @@ func calleeName(fun ast.Expr) string {
 	return ""
 }
 
-// analyze resolves one node's outgoing call edges and scans its body for
-// nondeterministic sinks.
-func (g *jobGraph) analyze(n *funcNode) {
-	path := n.pkg.Path
-	ast.Inspect(n.body, func(node ast.Node) bool {
-		call, ok := node.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := call.Fun.(type) {
-		case *ast.Ident:
-			if key, ok := g.funcs[path][fun.Name]; ok {
-				n.addCall(key)
-			}
-		case *ast.SelectorExpr:
-			base, ok := fun.X.(*ast.Ident)
-			if !ok {
-				// Method call on a compound expression: bind by name
-				// within the package.
-				for _, key := range g.methods[path][fun.Sel.Name] {
-					n.addCall(key)
-				}
-				return true
-			}
-			if imp := importedPath(n.file, base.Name); imp != "" {
-				if g.pass.Internal(imp) {
-					if key, ok := g.funcs[imp][fun.Sel.Name]; ok {
-						n.addCall(key)
-					}
-				}
-				return true
-			}
-			for _, key := range g.methods[path][fun.Sel.Name] {
-				n.addCall(key)
-			}
-		}
-		return true
-	})
-	n.sinks = g.findSinks(n)
-}
-
 // findSinks collects the nondeterministic operations in one body: the
 // same four classes the per-directory analyzers guard, but anywhere in
 // the module.
@@ -341,7 +210,7 @@ func (g *jobGraph) search(roots []string) {
 			key := queue[0]
 			queue = queue[1:]
 			n := g.nodes[key]
-			for _, s := range n.sinks {
+			for _, s := range g.sinks[key] {
 				id := g.pass.Fset.Position(s.pos).String() + "|" + s.what
 				if reported[id] {
 					continue
@@ -359,16 +228,4 @@ func (g *jobGraph) search(roots []string) {
 			}
 		}
 	}
-}
-
-// chain renders the call path root → ... → key.
-func (g *jobGraph) chain(parent map[string]string, key string) string {
-	var labels []string
-	for k := key; k != ""; k = parent[k] {
-		labels = append(labels, g.nodes[k].label)
-	}
-	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
-		labels[i], labels[j] = labels[j], labels[i]
-	}
-	return strings.Join(labels, " → ")
 }

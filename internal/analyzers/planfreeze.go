@@ -1,0 +1,270 @@
+package analyzers
+
+// planfreeze is the plan-immutability pass. Compiled artifacts —
+// plan.Plan and core.CompiledNet — are frozen after their compile entry
+// points return: every later mutation would let one run's bookkeeping
+// leak into the next run (or into a concurrently sharing runtime), which
+// is exactly the class of bug the RunState split exists to prevent.
+//
+// The pass takes the shared module call graph (callgraph.go) and flags
+// every assignment through a frozen-typed receiver or parameter (field
+// writes, element writes, increments) in any function reachable from the
+// module's API surface without passing through a compile entry point.
+// Writes to locally created values are exempt — that is how the compile
+// pipeline itself builds the artifact — and so are writes inside helpers
+// that only the compile entry points reach.
+//
+// Like jobreach, resolution is syntactic: frozen values are recognized
+// when they appear as the receiver or as parameters of the enclosing
+// function; aliases assigned to fresh locals are not tracked.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// PlanFreeze reports post-compilation mutations of compiled artifacts
+// reachable outside the compile entry points.
+var PlanFreeze = &ModuleAnalyzer{
+	Name: "planfreeze",
+	Doc: "report writes to plan.Plan or core.CompiledNet fields reachable outside the " +
+		"compile entry points; compiled plans are immutable, per-run state belongs in RunState",
+	Run: runPlanFreeze,
+}
+
+// frozenTypes names the immutable compiled artifacts per module-relative
+// directory.
+var frozenTypes = map[string]map[string]bool{
+	"internal/plan": {"Plan": true},
+	"internal/core": {"CompiledNet": true},
+}
+
+// compileEntries are the only functions allowed to populate a frozen
+// artifact (directly or through helpers only they reach).
+var compileEntries = map[string]map[string]bool{
+	"internal/plan": {"Compile": true, "CompileOpts": true},
+	"internal/core": {"CompileNetwork": true, "CompileNetworkOpts": true},
+}
+
+// frozenWrite is one mutation of a frozen value inside a function body.
+type frozenWrite struct {
+	pos  token.Pos
+	expr string // rendered LHS, e.g. "p.capFrames"
+	typ  string // the frozen type written through, e.g. "plan.Plan"
+}
+
+func runPlanFreeze(p *ModulePass) {
+	g := newCallGraph(p)
+	entries := make(map[string]bool)
+	writes := make(map[string][]frozenWrite)
+	for _, key := range g.order {
+		n := g.nodes[key]
+		g.resolveCalls(n)
+		if compileEntries[n.pkg.Dir][strings.TrimPrefix(key, n.pkg.Path+".")] && n.recv == nil {
+			entries[key] = true
+		}
+		if w := findFrozenWrites(p, n); len(w) > 0 {
+			writes[key] = w
+		}
+	}
+	if len(writes) == 0 {
+		return
+	}
+
+	// Roots: every function callable from outside the compile pipeline —
+	// exported functions and methods, main/init, and any function no
+	// module-internal caller reaches (a conservative stand-in for
+	// external entry). BFS from each root, never traversing into a
+	// compile entry: a write only survives if some path that avoids the
+	// compile pipeline reaches it.
+	called := make(map[string]bool)
+	for _, key := range g.order {
+		for _, c := range g.nodes[key].calls {
+			called[c] = true
+		}
+	}
+	var roots []string
+	for _, key := range g.order {
+		if entries[key] {
+			continue
+		}
+		name := key[strings.LastIndex(key, ".")+1:]
+		if ast.IsExported(name) || name == "main" || name == "init" || !called[key] {
+			roots = append(roots, key)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a := p.Fset.Position(g.nodes[roots[i]].pos)
+		b := p.Fset.Position(g.nodes[roots[j]].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		parent := map[string]string{root: ""}
+		queue := []string{root}
+		for len(queue) > 0 {
+			key := queue[0]
+			queue = queue[1:]
+			for _, w := range writes[key] {
+				if reported[w.pos] {
+					continue
+				}
+				reported[w.pos] = true
+				p.Reportf(w.pos,
+					"write %s mutates a compiled %s outside the compile pipeline (call path: %s); "+
+						"compiled artifacts are frozen, move per-run state to RunState",
+					w.expr, w.typ, g.chain(parent, key))
+			}
+			for _, c := range g.nodes[key].calls {
+				if entries[c] {
+					continue
+				}
+				if _, seen := parent[c]; !seen {
+					parent[c] = key
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+}
+
+// findFrozenWrites scans one function for assignments through its
+// frozen-typed receiver or parameters.
+func findFrozenWrites(p *ModulePass, n *funcNode) []frozenWrite {
+	frozen := make(map[string]string) // identifier -> frozen type label
+	bind := func(names []*ast.Ident, typ ast.Expr) {
+		label, ok := frozenTypeOf(p, n, typ)
+		if !ok {
+			return
+		}
+		for _, name := range names {
+			if name.Name != "_" {
+				frozen[name.Name] = label
+			}
+		}
+	}
+	if n.recv != nil {
+		for _, f := range n.recv.List {
+			bind(f.Names, f.Type)
+		}
+	}
+	if n.ftype != nil && n.ftype.Params != nil {
+		for _, f := range n.ftype.Params.List {
+			bind(f.Names, f.Type)
+		}
+	}
+	if len(frozen) == 0 {
+		return nil
+	}
+
+	var out []frozenWrite
+	record := func(lhs ast.Expr) {
+		base, chain := lhsRoot(lhs)
+		if base == nil || len(chain) == 0 {
+			// A bare "p = ..." rebinds the local variable; the pointed-to
+			// artifact is untouched.
+			return
+		}
+		typ, ok := frozen[base.Name]
+		if !ok {
+			return
+		}
+		out = append(out, frozenWrite{
+			pos:  lhs.Pos(),
+			expr: base.Name + strings.Join(chain, ""),
+			typ:  typ,
+		})
+	}
+	ast.Inspect(n.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			if node.Tok == token.DEFINE {
+				// x := ... introduces new locals; also un-track any
+				// frozen name it shadows.
+				for _, lhs := range node.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(frozen, id.Name)
+					}
+				}
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(node.X)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// lhsRoot unwraps an assignment target to its base identifier and the
+// selector/index chain applied to it: p.capFIFO[k] -> (p, [".capFIFO",
+// "[…]"]). A nil base or empty chain means the target is not a mutation
+// through a tracked value.
+func lhsRoot(lhs ast.Expr) (*ast.Ident, []string) {
+	var chain []string
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			// Reverse: the chain was collected innermost-last.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return e, chain
+		case *ast.SelectorExpr:
+			chain = append(chain, "."+e.Sel.Name)
+			lhs = e.X
+		case *ast.IndexExpr:
+			chain = append(chain, "[…]")
+			lhs = e.X
+		case *ast.StarExpr:
+			chain = append(chain, "*")
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// frozenTypeOf reports whether a receiver or parameter type denotes one
+// of the frozen artifacts, returning its display label.
+func frozenTypeOf(p *ModulePass, n *funcNode, t ast.Expr) (string, bool) {
+	for {
+		star, ok := t.(*ast.StarExpr)
+		if !ok {
+			break
+		}
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		if frozenTypes[n.pkg.Dir][t.Name] {
+			return n.file.Name.Name + "." + t.Name, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := t.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		imp := importedPath(n.file, base.Name)
+		if !p.Internal(imp) {
+			return "", false
+		}
+		rel := strings.TrimPrefix(imp, p.Module+"/")
+		if frozenTypes[rel][t.Sel.Name] {
+			return base.Name + "." + t.Sel.Name, true
+		}
+	}
+	return "", false
+}

@@ -10,6 +10,7 @@ package core
 // concurrently running Machines.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -64,7 +65,32 @@ type CompiledNet struct {
 // returned CompiledNet assumes the network is not mutated afterwards;
 // builder calls after compilation leave the compiled tables stale.
 func CompileNetwork(net *Network) (*CompiledNet, error) {
-	if err := net.Validate(); err != nil {
+	return CompileNetworkOpts(net, CompileOptions{})
+}
+
+// CompileOptions tunes network compilation.
+type CompileOptions struct {
+	// AllowUncoveredChannels interns a network even when some channel
+	// pairs lack functional-priority coverage (FPPN003); every other
+	// well-formedness rule still applies. Diagnostic pipelines (the
+	// FPPN020 happens-before verifier) use this to execute-and-examine
+	// the exact plan a coverage gap would produce.
+	AllowUncoveredChannels bool
+}
+
+// CompileNetworkOpts is CompileNetwork with explicit options.
+func CompileNetworkOpts(net *Network, opts CompileOptions) (*CompiledNet, error) {
+	if opts.AllowUncoveredChannels {
+		var errs []error
+		for _, p := range net.Problems() {
+			if p.Code != CodeFPCoverage {
+				errs = append(errs, p)
+			}
+		}
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("core: invalid network %q: %w", net.Name, errors.Join(errs...))
+		}
+	} else if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid network %q: %w", net.Name, err)
 	}
 	cn := &CompiledNet{

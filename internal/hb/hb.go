@@ -1,0 +1,450 @@
+// Package hb verifies the happens-before determinism of a compiled
+// execution plan: Proposition 2.1 of the DATE 2015 FPPN paper, made
+// checkable per plan instead of assumed per model.
+//
+// The runtime shape being verified is plan.RunConcurrent: one goroutine
+// per processor replays its static chain frame by frame against a virtual
+// clock, and the only inter-processor synchronization is (a) the
+// synchronize-invocation wait (a job waits for its ready time), (b) the
+// synchronize-precedence wait (a job waits for its task-graph
+// predecessors in the same frame) and (c) the per-frame availability wait
+// (a processor enters frame f no earlier than f·H). Two machine actions
+// whose virtual times are strictly separated are ordered in every
+// execution; two actions that can occur at incomparable points race for
+// the shared channel state and may produce different observable results
+// between runs.
+//
+// Verify therefore builds an explicit happens-before graph over a window
+// of frames and checks that every pair of conflicting accesses to shared
+// state is ordered by it:
+//
+//   - nodes: every job instance (frame, job) of the window, one per
+//     potential machine action;
+//   - program-order edges: consecutive jobs of one processor's static
+//     chain, and the chain's frame-to-frame continuation (one goroutine
+//     runs its frames sequentially);
+//   - precedence edges: the task graph's edges within each frame (the
+//     paper's step-3 FP-derived precedence, which RunConcurrent enforces
+//     with completion waits);
+//   - time-separation edges: an edge (f, i) → (g, j) whenever
+//     f·H + D_i ≤ lower-bound-of-ready(g, j), because job i's action
+//     happens strictly before its absolute deadline (positive execution
+//     time, no deadline miss) while job j's action happens no earlier
+//     than its ready wait. The ready lower bound is g·H + A_j for
+//     ordinary jobs and g·H for server jobs (a sporadic event may invoke
+//     a server job before its nominal arrival, but never before its
+//     processor entered the frame).
+//
+// Conflicting accesses are enumerated structurally: every pair of
+// instances of the same process conflicts (invocation counter, behavior
+// state, external output slices), and every writer instance × reader
+// instance pair of an internal channel conflicts (FIFO ring slots,
+// blackboard cells).
+//
+// Soundness of the time edges rests on the assumptions of Proposition
+// 4.1: the schedule is validated, actual execution times are positive and
+// bounded by the WCET, and sporadic events respect the declared
+// inter-arrival bound — under these, no job misses its absolute deadline,
+// so its machine action happens strictly before f·H + D_i. The window of
+// 1 + ceil(maxD/H) frames suffices: every edge class is invariant under
+// shifting both endpoints by one frame, so an arbitrary pair (f, i),
+// (f+Δ, j) is ordered iff (0, i), (Δ, j) is, and for Δ ≥ ceil(maxD/H)
+// the time edge D_i ≤ maxD ≤ Δ·H ≤ Δ·H + A_j always orders the pair.
+// The differential suite in internal/integration backs the argument
+// empirically: every plan Verify certifies replays byte-identically
+// between Plan.Run and Plan.RunConcurrent.
+package hb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// Time aliases the exact rational time type.
+type Time = rational.Rat
+
+// Access identifies one side of a conflicting access pair: a job instance
+// and what it does to the shared resource.
+type Access struct {
+	// Frame is the frame offset within the verification window.
+	Frame int
+	// Job is the frame-local job index.
+	Job int
+	// Name is the job's display name "process[k]".
+	Name string
+	// Proc is the processor executing the instance.
+	Proc int
+	// Op is "writes", "reads" or "state" (same-process shared state).
+	Op string
+}
+
+// String renders "process[k]@frame f on proc p (writes)".
+func (a Access) String() string {
+	return fmt.Sprintf("%s@frame %d on proc %d (%s)", a.Name, a.Frame, a.Proc, a.Op)
+}
+
+// Witness is a concrete unordered conflicting access pair: no
+// happens-before path orders A against B, so the accesses to Resource can
+// interleave either way between runs.
+type Witness struct {
+	// Resource names the shared state: "channel NAME" or "process NAME".
+	Resource string
+	A, B     Access
+}
+
+// String renders the witness on one line.
+func (w Witness) String() string {
+	return fmt.Sprintf("%s: %v unordered against %v", w.Resource, w.A, w.B)
+}
+
+// Verdict is the structured result of a determinism verification.
+type Verdict struct {
+	// RaceFree reports that every conflicting access pair is ordered by
+	// the happens-before relation of the plan.
+	RaceFree bool
+	// Witness is the first unordered conflicting pair in deterministic
+	// enumeration order (smallest frame delta first), nil when RaceFree.
+	Witness *Witness
+	// Unordered counts all unordered conflicting pairs found.
+	Unordered int
+	// Frames is the verification window size in frames.
+	Frames int
+	// Nodes and Edges size the happens-before graph that was built.
+	Nodes, Edges int
+	// Pairs counts the conflicting access pairs checked.
+	Pairs int
+}
+
+// String renders the headline verdict.
+func (v Verdict) String() string {
+	if v.RaceFree {
+		return fmt.Sprintf("race-free: %d conflicting pairs ordered over a %d-frame window (%d nodes, %d edges)",
+			v.Pairs, v.Frames, v.Nodes, v.Edges)
+	}
+	return fmt.Sprintf("NOT race-free: %d of %d conflicting pairs unordered; first witness: %v",
+		v.Unordered, v.Pairs, *v.Witness)
+}
+
+// Verify builds the happens-before partial order of the compiled plan and
+// checks every conflicting access pair against it. It never executes the
+// plan; the verdict depends only on the schedule, the task graph and the
+// network's channel structure.
+func Verify(p *plan.Plan) Verdict {
+	g := buildGraph(p)
+	g.close()
+	return g.checkConflicts()
+}
+
+// graph is the happens-before graph over the verification window.
+type graph struct {
+	p  *plan.Plan
+	tg *taskgraph.TaskGraph
+	n  int // jobs per frame
+	w  int // window size in frames
+
+	jobProc []int // processor per frame-job index
+
+	nodes int     // w*n job nodes + gate nodes
+	succ  [][]int // adjacency
+	edges int
+
+	// desc[v] is the bitset of nodes reachable from v (excluding v
+	// itself unless v lies on a cycle, which validated plans never do).
+	desc  [][]uint64
+	words int
+}
+
+// node returns the graph node of job i in window frame f.
+func (g *graph) node(f, i int) int { return f*g.n + i }
+
+func (g *graph) addEdge(a, b int) {
+	g.succ[a] = append(g.succ[a], b)
+	g.edges++
+}
+
+// buildGraph assembles the nodes and the three edge classes.
+func buildGraph(p *plan.Plan) *graph {
+	tg := p.TaskGraph()
+	s := p.S
+	n := len(tg.Jobs)
+	h := tg.Hyperperiod
+
+	// Window: 1 + ceil(maxD / H) frames (at least 2).
+	maxD := Time{}
+	for _, j := range tg.Jobs {
+		if maxD.Less(j.Deadline) {
+			maxD = j.Deadline
+		}
+	}
+	span := 1
+	for h.MulInt(int64(span)).Less(maxD) {
+		span++
+	}
+	w := span + 1
+
+	g := &graph{p: p, tg: tg, n: n, w: w}
+	g.jobProc = make([]int, n)
+	for i := range tg.Jobs {
+		g.jobProc[i] = s.Assign[i].Proc
+	}
+
+	// Absolute ready lower bounds and deadlines per (frame, job) drive
+	// the gate chain. Collect the distinct time values first.
+	ready := func(f, i int) Time {
+		j := tg.Jobs[i]
+		base := h.MulInt(int64(f))
+		if j.Server {
+			return base
+		}
+		return base.Add(j.Arrival)
+	}
+	deadline := func(f, i int) Time {
+		return h.MulInt(int64(f)).Add(tg.Jobs[i].Deadline)
+	}
+	values := make([]Time, 0, 2*w*n)
+	for f := 0; f < w; f++ {
+		for i := 0; i < n; i++ {
+			values = append(values, ready(f, i), deadline(f, i))
+		}
+	}
+	sort.Slice(values, func(a, b int) bool { return values[a].Less(values[b]) })
+	gates := values[:0]
+	for _, v := range values {
+		if len(gates) == 0 || !gates[len(gates)-1].Equal(v) {
+			gates = append(gates, v)
+		}
+	}
+	gateID := func(t Time) int {
+		// t is always a member of gates.
+		lo, hi := 0, len(gates)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if gates[mid].Less(t) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return w*n + lo
+	}
+
+	g.nodes = w*n + len(gates)
+	g.succ = make([][]int, g.nodes)
+
+	// Program order: each processor goroutine runs its static chain once
+	// per frame, frames in sequence.
+	for _, chain := range s.ProcessorOrder() {
+		for f := 0; f < w; f++ {
+			for k := 1; k < len(chain); k++ {
+				g.addEdge(g.node(f, chain[k-1]), g.node(f, chain[k]))
+			}
+			if f+1 < w && len(chain) > 0 {
+				g.addEdge(g.node(f, chain[len(chain)-1]), g.node(f+1, chain[0]))
+			}
+		}
+	}
+
+	// Precedence: the task graph's edges, per frame (RunConcurrent waits
+	// on same-frame predecessor completion).
+	for _, e := range tg.Edges() {
+		for f := 0; f < w; f++ {
+			g.addEdge(g.node(f, e[0]), g.node(f, e[1]))
+		}
+	}
+
+	// Time separation, via the gate chain: job → gate(deadline) and
+	// gate(ready) → job, so a ⇝ b exactly when deadline(a) ≤ ready(b).
+	for k := 1; k < len(gates); k++ {
+		g.addEdge(w*n+k-1, w*n+k)
+	}
+	for f := 0; f < w; f++ {
+		for i := 0; i < n; i++ {
+			g.addEdge(g.node(f, i), gateID(deadline(f, i)))
+			g.addEdge(gateID(ready(f, i)), g.node(f, i))
+		}
+	}
+	return g
+}
+
+// close computes per-node descendant bitsets. The graph of a validated
+// plan is a DAG (all edge classes point forward in frame and time), so a
+// single reverse-topological sweep suffices; a defensive fixpoint loop
+// keeps the result correct even on degenerate hand-built inputs.
+func (g *graph) close() {
+	g.words = (g.nodes + 63) / 64
+	g.desc = make([][]uint64, g.nodes)
+	backing := make([]uint64, g.nodes*g.words)
+	for v := range g.desc {
+		g.desc[v] = backing[v*g.words : (v+1)*g.words]
+	}
+
+	order := g.topoOrder()
+	for pass := 0; pass < g.nodes; pass++ {
+		changed := false
+		// Reverse topological order: successors first.
+		for k := len(order) - 1; k >= 0; k-- {
+			v := order[k]
+			dv := g.desc[v]
+			for _, s := range g.succ[v] {
+				if dv[s/64]&(1<<(s%64)) == 0 {
+					dv[s/64] |= 1 << (s % 64)
+					changed = true
+				}
+				ds := g.desc[s]
+				for w := 0; w < g.words; w++ {
+					if ds[w]&^dv[w] != 0 {
+						dv[w] |= ds[w]
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// topoOrder returns a topological order via Kahn's algorithm; nodes on a
+// cycle (impossible for validated plans) are appended in index order and
+// handled by close's fixpoint loop.
+func (g *graph) topoOrder() []int {
+	indeg := make([]int, g.nodes)
+	for _, succ := range g.succ {
+		for _, s := range succ {
+			indeg[s]++
+		}
+	}
+	order := make([]int, 0, g.nodes)
+	queue := make([]int, 0, g.nodes)
+	for v := 0; v < g.nodes; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := make([]bool, g.nodes)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		seen[v] = true
+		for _, s := range g.succ[v] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	for v := 0; v < g.nodes; v++ {
+		if !seen[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// ordered reports whether the two job instances are happens-before
+// related (in either direction).
+func (g *graph) ordered(fa, a, fb, b int) bool {
+	na, nb := g.node(fa, a), g.node(fb, b)
+	return g.desc[na][nb/64]&(1<<(nb%64)) != 0 ||
+		g.desc[nb][na/64]&(1<<(na%64)) != 0
+}
+
+// conflict is one structural conflict: two frame-job indices, the shared
+// resource and the operation labels.
+type conflict struct {
+	a, b     int
+	resource string
+	opA, opB string
+}
+
+// checkConflicts enumerates the conflicting access pairs and queries the
+// closed graph. Pairs are checked smallest frame delta first so the
+// witness is minimal in window distance.
+func (g *graph) checkConflicts() Verdict {
+	tg := g.tg
+	byProc := make(map[string][]int)
+	for i, j := range tg.Jobs {
+		byProc[j.Proc] = append(byProc[j.Proc], i)
+	}
+
+	// Structural conflicts at the process/channel level; instances are
+	// expanded per frame delta below.
+	var conflicts []conflict
+	for _, name := range tg.Net.ProcessNames() {
+		jobs := byProc[name]
+		for x := 0; x < len(jobs); x++ {
+			for y := x; y < len(jobs); y++ {
+				conflicts = append(conflicts, conflict{
+					a: jobs[x], b: jobs[y],
+					resource: "process " + name,
+					opA:      "state", opB: "state",
+				})
+			}
+		}
+	}
+	for _, c := range tg.Net.Channels() {
+		if c.Writer == c.Reader {
+			continue // ordered by the process's own job order
+		}
+		for _, wj := range byProc[c.Writer] {
+			for _, rj := range byProc[c.Reader] {
+				conflicts = append(conflicts, conflict{
+					a: wj, b: rj,
+					resource: "channel " + c.Name,
+					opA:      "writes", opB: "reads",
+				})
+			}
+		}
+	}
+
+	v := Verdict{RaceFree: true, Frames: g.w, Nodes: g.nodes, Edges: g.edges}
+	report := func(delta int, c conflict, swapped bool) {
+		v.Unordered++
+		if v.Witness != nil {
+			return
+		}
+		a := Access{Frame: 0, Job: c.a, Name: tg.Jobs[c.a].Name(), Proc: g.jobProc[c.a], Op: c.opA}
+		b := Access{Frame: delta, Job: c.b, Name: tg.Jobs[c.b].Name(), Proc: g.jobProc[c.b], Op: c.opB}
+		if swapped {
+			a, b = Access{Frame: 0, Job: c.b, Name: tg.Jobs[c.b].Name(), Proc: g.jobProc[c.b], Op: c.opB},
+				Access{Frame: delta, Job: c.a, Name: tg.Jobs[c.a].Name(), Proc: g.jobProc[c.a], Op: c.opA}
+		}
+		v.Witness = &Witness{Resource: c.resource, A: a, B: b}
+	}
+	for delta := 0; delta < g.w; delta++ {
+		for _, c := range conflicts {
+			if delta == 0 {
+				if c.a == c.b {
+					continue // one instance is not a pair
+				}
+				v.Pairs++
+				if !g.ordered(0, c.a, 0, c.b) {
+					v.RaceFree = false
+					report(0, c, false)
+				}
+				continue
+			}
+			// (0, a) against (delta, b) and (0, b) against (delta, a):
+			// with a frame shift these cover every instance pair of the
+			// conflict at this distance.
+			v.Pairs++
+			if !g.ordered(0, c.a, delta, c.b) {
+				v.RaceFree = false
+				report(delta, c, false)
+			}
+			if c.a != c.b {
+				v.Pairs++
+				if !g.ordered(0, c.b, delta, c.a) {
+					v.RaceFree = false
+					report(delta, c, true)
+				}
+			}
+		}
+	}
+	return v
+}

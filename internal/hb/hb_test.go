@@ -1,0 +1,185 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/rational"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func ms(n int64) core.Time { return rational.Milli(n) }
+
+// compile derives, schedules and compiles a network for the test.
+func compile(t *testing.T, net *core.Network, m int, opts taskgraph.Options) *plan.Plan {
+	t.Helper()
+	tg, err := taskgraph.DeriveOpts(net, opts)
+	if err != nil {
+		t.Fatalf("derive: %v", err)
+	}
+	s, err := sched.FindFeasible(tg, m)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	p, err := plan.CompileOpts(s, plan.CompileOptions{
+		AllowUncoveredChannels: opts.AllowUncoveredChannels,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// TestPaperAppsRaceFree certifies every registry application: a valid
+// network's derived precedence plus the frame barrier orders every
+// conflicting pair (Proposition 2.1 as a checkable verdict).
+func TestPaperAppsRaceFree(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			net, err := apps.Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tg, err := taskgraph.Derive(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sched.FindFeasible(tg, len(tg.Jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := plan.Compile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := Verify(p)
+			if !v.RaceFree {
+				t.Fatalf("%s not race-free: %v", name, v)
+			}
+			if v.Witness != nil {
+				t.Fatalf("race-free verdict carries a witness: %v", v.Witness)
+			}
+			if v.Pairs == 0 {
+				t.Fatalf("no conflicting pairs checked for %s", name)
+			}
+			if v.Frames < 2 {
+				t.Fatalf("window %d frames, want >= 2", v.Frames)
+			}
+		})
+	}
+}
+
+// uncovered builds a schedulable network whose single channel lacks the
+// FP edge between writer and reader: the exact shape of the paper's
+// Proposition 2.1 precondition violation. Both processes carry more than
+// half the hyperperiod of work, so any feasible two-processor schedule
+// places them on different processors with overlapping windows.
+func uncovered() *core.Network {
+	n := core.NewNetwork("uncovered")
+	stub := core.BehaviorFunc(func(*core.JobContext) error { return nil })
+	n.AddPeriodic("sensor", ms(400), ms(400), ms(300), stub)
+	n.AddPeriodic("logger", ms(400), ms(400), ms(300), stub)
+	n.Connect("sensor", "logger", "samples", core.FIFO)
+	n.Output("logger", "log")
+	return n
+}
+
+// TestUncoveredChannelWitness drops the FP edge between a channel's
+// endpoints and expects the verifier to exhibit the unordered write/read
+// pair on that channel.
+func TestUncoveredChannelWitness(t *testing.T) {
+	p := compile(t, uncovered(), 2, taskgraph.Options{AllowUncoveredChannels: true})
+	v := Verify(p)
+	if v.RaceFree {
+		t.Fatalf("uncovered channel verified race-free: %v", v)
+	}
+	if v.Witness == nil {
+		t.Fatal("no witness on failure")
+	}
+	if v.Witness.Resource != "channel samples" {
+		t.Fatalf("witness resource %q, want %q", v.Witness.Resource, "channel samples")
+	}
+	if v.Witness.A.Frame != 0 || v.Witness.B.Frame != 0 {
+		t.Fatalf("witness should be a same-frame pair, got %v", v.Witness)
+	}
+	if v.Witness.A.Proc == v.Witness.B.Proc {
+		t.Fatalf("witness jobs share processor %d; program order should have ordered them", v.Witness.A.Proc)
+	}
+	if !strings.Contains(v.Witness.String(), "sensor[1]") || !strings.Contains(v.Witness.String(), "logger[1]") {
+		t.Fatalf("witness %v does not name the channel endpoints", v.Witness)
+	}
+	if v.Unordered == 0 || v.Pairs < v.Unordered {
+		t.Fatalf("inconsistent counts: %+v", v)
+	}
+}
+
+// light builds the uncovered shape with small WCETs, so it fits one
+// processor (and, covered, a serial precedence chain inside the frame).
+func light() *core.Network {
+	n := core.NewNetwork("uncovered-light")
+	stub := core.BehaviorFunc(func(*core.JobContext) error { return nil })
+	n.AddPeriodic("sensor", ms(400), ms(400), ms(100), stub)
+	n.AddPeriodic("logger", ms(400), ms(400), ms(100), stub)
+	n.Connect("sensor", "logger", "samples", core.FIFO)
+	n.Output("logger", "log")
+	return n
+}
+
+// TestUncoveredSequentialIsOrdered schedules an uncovered network on one
+// processor: the static chain alone orders the accesses, so the plan is
+// race-free even without the FP edge.
+func TestUncoveredSequentialIsOrdered(t *testing.T) {
+	p := compile(t, light(), 1, taskgraph.Options{AllowUncoveredChannels: true})
+	if v := Verify(p); !v.RaceFree {
+		t.Fatalf("single-processor plan not race-free: %v", v)
+	}
+}
+
+// TestCoveredChannelIsOrdered adds the missing FP edge: the derived
+// precedence now orders the pair on any processor count.
+func TestCoveredChannelIsOrdered(t *testing.T) {
+	net := light()
+	net.Priority("sensor", "logger")
+	p := compile(t, net, 2, taskgraph.Options{})
+	if v := Verify(p); !v.RaceFree {
+		t.Fatalf("covered network not race-free: %v", v)
+	}
+}
+
+// TestVerdictStrings keeps the rendered forms stable for the lint rule.
+func TestVerdictStrings(t *testing.T) {
+	p := compile(t, uncovered(), 2, taskgraph.Options{AllowUncoveredChannels: true})
+	v := Verify(p)
+	if s := v.String(); !strings.Contains(s, "NOT race-free") {
+		t.Fatalf("failure verdict %q", s)
+	}
+	covered := light()
+	covered.Priority("sensor", "logger")
+	pc := compile(t, covered, 2, taskgraph.Options{})
+	if s := Verify(pc).String(); !strings.Contains(s, "race-free:") {
+		t.Fatalf("success verdict %q", s)
+	}
+}
+
+// TestSporadicWindow verifies a network with a sporadic process: server
+// jobs use the frame base as their ready lower bound, and the plan stays
+// race-free because server and user are FP'-related by construction.
+func TestSporadicWindow(t *testing.T) {
+	n := core.NewNetwork("sporadic")
+	stub := core.BehaviorFunc(func(*core.JobContext) error { return nil })
+	n.AddPeriodic("user", ms(100), ms(100), ms(10), stub)
+	n.AddSporadic("cfg", 1, ms(200), ms(200), ms(5), stub)
+	n.ConnectInit("cfg", "user", "knob", 0)
+	n.Priority("cfg", "user")
+	n.Output("user", "out")
+	p := compile(t, n, 2, taskgraph.Options{})
+	if v := Verify(p); !v.RaceFree {
+		t.Fatalf("sporadic network not race-free: %v", v)
+	}
+}

@@ -21,6 +21,9 @@ func ms(n int64) core.Time { return rational.Milli(n) }
 //     triggers the static dataflow rules (FPPN014, FPPN015, FPPN017);
 //   - "broken-feas" is a valid, schedulable model whose derived task
 //     graph triggers the schedulability rules (FPPN018, FPPN019);
+//   - "broken-hb" is a schedulable model whose only flaw is one
+//     FP-uncovered channel; the happens-before verifier exhibits the
+//     resulting unordered access pair (FPPN020);
 //   - "empty" triggers FPPN013.
 func Fixtures() map[string]func() *core.Network {
 	return map[string]func() *core.Network{
@@ -28,6 +31,7 @@ func Fixtures() map[string]func() *core.Network {
 		"broken-timing": BrokenTiming,
 		"broken-flow":   BrokenFlow,
 		"broken-feas":   BrokenFeas,
+		"broken-hb":     BrokenHB,
 		"empty":         func() *core.Network { return core.NewNetwork("empty") },
 	}
 }
@@ -174,6 +178,23 @@ func BrokenFlow() *core.Network {
 		n.AddPeriodic(name, ms(400), ms(400), ms(400), core.NopBehavior)
 		n.Output(name, "OUT_"+name)
 	}
+	return n
+}
+
+// BrokenHB builds a schedulable two-process pipeline whose single channel
+// lacks the FP edge between writer and reader — the exact precondition
+// violation of Proposition 2.1. The coverage gap itself is FPPN003; the
+// happens-before verifier then compiles the plan anyway and exhibits the
+// concrete consequence: with 300 ms of work per process against a 400 ms
+// frame, any feasible two-processor schedule splits the pair onto
+// different processors, leaving the channel's write and read unordered
+// (FPPN020).
+func BrokenHB() *core.Network {
+	n := core.NewNetwork("broken-hb")
+	n.AddPeriodic("sensor", ms(400), ms(400), ms(300), stub)
+	n.AddPeriodic("logger", ms(400), ms(400), ms(300), stub)
+	n.Connect("sensor", "logger", "samples", core.FIFO)
+	n.Output("logger", "log")
 	return n
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/hb"
 	"repro/internal/staticflow"
 )
 
@@ -213,6 +214,8 @@ type context struct {
 	jobsTried     bool         // frame job estimate computed
 	jobsVal       int64
 	jobsOK        bool
+	hbTried       bool        // happens-before verification attempted
+	hbVerd        *hb.Verdict // nil when skipped or failed
 }
 
 func (c *context) addf(r Rule, subjectKind, subject, fix, format string, args ...any) {

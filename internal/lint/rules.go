@@ -3,10 +3,14 @@ package lint
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/hb"
+	"repro/internal/plan"
 	"repro/internal/rational"
+	"repro/internal/sched"
 	"repro/internal/staticflow"
 	"repro/internal/taskgraph"
 )
@@ -41,6 +45,11 @@ const (
 	// whose hyperperiod frame stays within maxFeasJobs.
 	CodeFeasLoad   = "FPPN018"
 	CodeFeasWindow = "FPPN019"
+	// FPPN020 is backed by the happens-before verifier of internal/hb
+	// over a compiled plan; it runs on networks whose only error-severity
+	// problems (if any) are FP-coverage gaps, turning a missing FP edge
+	// into a concrete unordered access-pair witness.
+	CodeHBUnordered = "FPPN020"
 )
 
 // Rules is the ordered diagnostic registry. Run executes the rules in this
@@ -122,6 +131,10 @@ var Rules = []Rule{
 		Title: "derived job window cannot hold its WCET",
 		Ref:   "Def. 3.1 (ASAP + C > ALAP: infeasible at any capacity)",
 		run:   runFeasWindow},
+	{Code: CodeHBUnordered, Severity: Warning,
+		Title: "unordered conflicting accesses in the compiled plan",
+		Ref:   "Prop. 2.1 (happens-before certification of the derived precedence)",
+		run:   runHBUnordered},
 }
 
 // runCoreProblems converts the core problems carrying the rule's
@@ -683,4 +696,84 @@ func runEmptyNetwork(c *context, r Rule) {
 			"add at least one process",
 			"network %q has no processes; there is nothing to derive a task graph from", c.net.Name)
 	}
+}
+
+// maxHBJobs caps the happens-before verification behind FPPN020: the
+// verifier builds a multi-frame reachability closure over the derived
+// jobs, so large frames (the 812-job FMS among them) are skipped to keep
+// lint's hot path flat — sized verification belongs to the
+// fppn.VerifyDeterminism API surface, not the vet pass.
+const maxHBJobs = 512
+
+// hbVerdict lazily runs the full determinism pipeline — derive, schedule
+// at the assumed capacity, compile, verify — and caches the verdict. nil
+// silently skips FPPN020: networks with error-severity problems other
+// than FP-coverage gaps, frames beyond maxHBJobs or Options.MaxFrameJobs,
+// and networks with no feasible schedule at the assumed capacity (an
+// unschedulable model has no plan whose ordering could be verified).
+// FP-coverage gaps themselves do NOT skip the rule: the pipeline derives
+// with AllowUncoveredChannels so the verifier can exhibit the concrete
+// unordered access pair the missing edge causes.
+func (c *context) hbVerdict() *hb.Verdict {
+	if c.hbTried {
+		return c.hbVerd
+	}
+	c.hbTried = true
+	uncovered := false
+	for _, p := range c.coreProblems() {
+		if p.Code != core.CodeFPCoverage {
+			return nil
+		}
+		uncovered = true
+	}
+	if jobs, ok := c.frameJobEstimate(); !ok || jobs > int64(c.opts.MaxFrameJobs) || jobs > maxHBJobs {
+		return nil
+	}
+	c.hbVerd = func() (v *hb.Verdict) {
+		defer func() {
+			if recover() != nil {
+				v = nil
+			}
+		}()
+		tg, err := taskgraph.DeriveOpts(c.net, taskgraph.Options{AllowUncoveredChannels: uncovered})
+		if err != nil {
+			return nil
+		}
+		s, err := sched.FindFeasible(tg, c.opts.Processors)
+		if err != nil {
+			return nil
+		}
+		p, err := plan.CompileOpts(s, plan.CompileOptions{AllowUncoveredChannels: uncovered})
+		if err != nil {
+			return nil
+		}
+		verdict := hb.Verify(p)
+		return &verdict
+	}()
+	return c.hbVerd
+}
+
+// runHBUnordered warns when the happens-before verification of the
+// compiled plan finds a conflicting access pair no synchronization
+// orders: the plan executes, but the order of the witnessed accesses —
+// and hence the observable results — can differ between runs. One
+// finding, anchored at the witnessed resource, carrying the minimal
+// witness pair.
+func runHBUnordered(c *context, r Rule) {
+	v := c.hbVerdict()
+	if v == nil || v.RaceFree {
+		return
+	}
+	w := v.Witness
+	kind, subject := "process", strings.TrimPrefix(w.Resource, "process ")
+	fix := "add the missing Priority edge so the derived precedence orders the accesses"
+	if name, ok := strings.CutPrefix(w.Resource, "channel "); ok {
+		kind, subject = "channel", name
+		if s, ok := c.suggestionFor(name); ok {
+			fix = fmt.Sprintf("add Priority(%q, %q)", s.Hi, s.Lo)
+		}
+	}
+	c.addf(r, kind, subject, fix,
+		"compiled plan is not race-free on %d processors: %d of %d conflicting access pairs are unordered; witness: %v",
+		c.opts.Processors, v.Unordered, v.Pairs, *w)
 }

@@ -160,7 +160,8 @@ func (c *vclock) finish() {
 // the same start/finish instants in virtual time. It exists to demonstrate
 // (and stress under the race detector) that the FPPN synchronization rules
 // alone — not any global sequentialization — deliver deterministic outputs.
-func (p *Plan) RunConcurrent(cfg Config) (*Report, error) {
+func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
+	p := rs.p
 	if cfg.Frames < 1 {
 		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
 	}
@@ -175,7 +176,7 @@ func (p *Plan) RunConcurrent(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fifoCap, outCap := p.machineCapacities(cfg.Frames)
+	fifoCap, outCap := rs.capacities(cfg.Frames)
 	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{
 		Inputs:         cfg.Inputs,
 		FIFOCapacity:   fifoCap,

@@ -21,7 +21,6 @@ package plan
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -370,19 +369,12 @@ type Plan struct {
 	// relPids[pid] lists the pids FP'-related to pid (including itself),
 	// for the pipelined cross-frame precedence rule.
 	relPids [][]int
-	// buffers is the eventless two-frame static buffer profile, used to
-	// preallocate FIFO rings and output slices in Run/RunConcurrent. nil
-	// when the sweep was skipped (oversized frame); capacities are hints
-	// only, so execution is identical either way.
+	// buffers is the eventless two-frame static buffer profile, used by
+	// RunState to preallocate FIFO rings and output slices in
+	// Run/RunConcurrent. nil when the sweep was skipped (oversized
+	// frame); capacities are hints only, so execution is identical
+	// either way.
 	buffers *staticflow.BufferProfile
-
-	// Capacity maps are cached per frame count: the maps are read-only
-	// for the machine, so repeated runs of the same plan share them
-	// instead of rebuilding two maps per run.
-	capMu     sync.Mutex
-	capFrames int
-	capFIFO   map[string]int
-	capOut    map[string]int
 }
 
 // maxProfiledFrameJobs skips the compile-time buffer sweep on frames too
@@ -390,28 +382,29 @@ type Plan struct {
 // requirement.
 const maxProfiledFrameJobs = 100_000
 
-// machineCapacities returns the FIFO ring and external-output capacity
-// hints for a run of the given frame count.
-func (p *Plan) machineCapacities(frames int) (fifo, output map[string]int) {
-	if p.buffers == nil {
-		return nil, nil
-	}
-	p.capMu.Lock()
-	defer p.capMu.Unlock()
-	if p.capFrames != frames {
-		p.capFIFO = p.buffers.FIFOCapacities(frames)
-		p.capOut = staticflow.OutputCapacities(p.tg.Net, frames)
-		p.capFrames = frames
-	}
-	return p.capFIFO, p.capOut
-}
-
 // Compile lowers a static schedule into an execution plan. It validates
 // the network once (interning it), checks the schedule against the
 // precedence constraints and precomputes the frame-0 invocation tables.
 func Compile(s *sched.Schedule) (*Plan, error) {
+	return CompileOpts(s, CompileOptions{})
+}
+
+// CompileOptions tunes plan compilation.
+type CompileOptions struct {
+	// AllowUncoveredChannels compiles a plan for a network with
+	// FP-coverage gaps (FPPN003), matching
+	// taskgraph.Options.AllowUncoveredChannels on the derive side. The
+	// resulting plan deliberately under-synchronizes the uncovered
+	// channel accesses; it exists to be examined (hb.Verify), not run.
+	AllowUncoveredChannels bool
+}
+
+// CompileOpts is Compile with explicit options.
+func CompileOpts(s *sched.Schedule, opts CompileOptions) (*Plan, error) {
 	tg := s.TG
-	cn, err := core.CompileNetwork(tg.Net)
+	cn, err := core.CompileNetworkOpts(tg.Net, core.CompileOptions{
+		AllowUncoveredChannels: opts.AllowUncoveredChannels,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,8 @@ import (
 // computation against the compiled plan and returns the full report. It
 // produces byte-identical results to the legacy string-keyed engine
 // (rt.RunReference), which the differential suite asserts.
-func (p *Plan) Run(cfg Config) (*Report, error) {
+func (rs *RunState) Run(cfg Config) (*Report, error) {
+	p := rs.p
 	if cfg.Frames < 1 {
 		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
 	}
@@ -24,7 +25,7 @@ func (p *Plan) Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fifoCap, outCap := p.machineCapacities(cfg.Frames)
+	fifoCap, outCap := rs.capacities(cfg.Frames)
 	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{
 		Inputs:         cfg.Inputs,
 		RecordTrace:    cfg.RecordTrace,

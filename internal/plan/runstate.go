@@ -1,0 +1,62 @@
+package plan
+
+import "repro/internal/staticflow"
+
+// RunState is the per-run mutable execution context of a compiled plan.
+// A Plan is immutable after Compile and safe to share between goroutines;
+// everything a run mutates — today the frame-keyed capacity hints, and in
+// the future any per-request scratch the fppnd daemon needs — lives here.
+// A RunState is NOT safe for concurrent use: give each goroutine its own
+// (NewRunState is cheap; the capacity maps are rebuilt lazily per frame
+// count and shared across consecutive runs of the same RunState).
+type RunState struct {
+	p *Plan
+
+	// Capacity maps are cached per frame count: the maps are read-only
+	// for the machine, so repeated runs of the same frame count share
+	// them instead of rebuilding two maps per run.
+	capFrames int
+	capFIFO   map[string]int
+	capOut    map[string]int
+}
+
+// NewRunState returns a fresh execution context for the plan. Repeated-
+// execution callers (cmd/fppnsim -frames N, benchmark loops, one daemon
+// request handler) should create one RunState and reuse it across runs;
+// one-shot callers can use the Plan.Run / Plan.RunConcurrent conveniences,
+// which allocate a RunState per call.
+func (p *Plan) NewRunState() *RunState {
+	return &RunState{p: p, capFrames: -1}
+}
+
+// Plan returns the immutable compiled plan this state executes.
+func (rs *RunState) Plan() *Plan { return rs.p }
+
+// capacities returns the FIFO ring and external-output capacity hints for
+// a run of the given frame count, rebuilding the cached maps when the
+// frame count changes.
+func (rs *RunState) capacities(frames int) (fifo, output map[string]int) {
+	p := rs.p
+	if p.buffers == nil {
+		return nil, nil
+	}
+	if rs.capFrames != frames {
+		rs.capFIFO = p.buffers.FIFOCapacities(frames)
+		rs.capOut = staticflow.OutputCapacities(p.tg.Net, frames)
+		rs.capFrames = frames
+	}
+	return rs.capFIFO, rs.capOut
+}
+
+// Run executes the plan in a fresh per-call RunState. The plan itself is
+// never mutated, so concurrent Run calls on one shared Plan are safe.
+func (p *Plan) Run(cfg Config) (*Report, error) {
+	return p.NewRunState().Run(cfg)
+}
+
+// RunConcurrent executes the plan with one goroutine per processor in a
+// fresh per-call RunState. The plan itself is never mutated, so concurrent
+// RunConcurrent calls on one shared Plan are safe.
+func (p *Plan) RunConcurrent(cfg Config) (*Report, error) {
+	return p.NewRunState().RunConcurrent(cfg)
+}

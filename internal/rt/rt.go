@@ -63,6 +63,10 @@ type JobPlan = plan.JobPlan
 // Plan is a compiled execution plan; see plan.Compile.
 type Plan = plan.Plan
 
+// RunState is the per-run mutable execution context of a compiled plan;
+// see plan.Plan.NewRunState.
+type RunState = plan.RunState
+
 // Compile lowers a static schedule into a reusable execution plan.
 func Compile(s *sched.Schedule) (*Plan, error) { return plan.Compile(s) }
 
