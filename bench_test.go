@@ -18,12 +18,15 @@ package fppn_test
 //	§V      — FPPN + schedule -> timed-automata generation and execution
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	fppn "repro"
 	"repro/internal/apps/fft"
 	"repro/internal/apps/fms"
 	"repro/internal/apps/signal"
+	"repro/internal/nettest"
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
@@ -236,6 +239,36 @@ func BenchmarkFig7FMSRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	rs := p.NewRunState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := rs.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Misses) != 0 {
+			b.Fatal("unexpected misses")
+		}
+	}
+}
+
+// BenchmarkFig7FMSRunSteadyState measures pure steady-state replay: the
+// RunState is warmed by one run before the timer starts, so every measured
+// iteration replays four hyperperiod frames entirely from pooled state.
+// The allocs/op column is the acceptance gate — it must read 0: the plan
+// scratch, machine, report arenas, channel snapshot and boxed float cells
+// are all recycled, so no allocation scales with replayed frames.
+func BenchmarkFig7FMSRunSteadyState(b *testing.B) {
+	s, cfg := fmsRunFixture(b)
+	cfg.Frames = 4
+	p, err := fppn.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := p.NewRunState()
+	if _, err := rs.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -542,6 +575,114 @@ func benchmarkFMSDerivationWorkers(b *testing.B, workers int) {
 func BenchmarkFMSDerivationSequential(b *testing.B) { benchmarkFMSDerivationWorkers(b, 1) }
 func BenchmarkFMSDerivationWorkers4(b *testing.B)   { benchmarkFMSDerivationWorkers(b, 4) }
 func BenchmarkFMSDerivationDefault(b *testing.B)    { benchmarkFMSDerivationWorkers(b, 0) }
+
+// --- Scale tier: generated networks at 10k and 100k jobs/hyperperiod ---
+//
+// The paper's largest case study stops at 812 jobs per hyperperiod; the
+// scale tier pushes the same pipeline two and three orders of magnitude
+// further on nettest.Scale networks. Each stage is benchmarked separately
+// so BENCH_fppn.json tracks where the pipeline spends per-job time: the
+// 10k/100k derivations exercise the int64 tick lowering and the
+// chain-decomposition transitive reduction (active from 8192 jobs), the
+// schedules the event-driven list scheduler, and the runs the pooled
+// zero-steady-state-allocation replay path.
+
+// scaleProcessors is the platform width the scale tier is sized for;
+// nettest.Scale keeps total utilization at half this capacity.
+const scaleProcessors = 8
+
+func scaleNet(jobs int) *fppn.Network {
+	return nettest.Scale(rand.New(rand.NewSource(int64(jobs))),
+		nettest.ScaleOptions{TargetJobs: jobs, Processors: scaleProcessors})
+}
+
+func benchmarkScaleDerive(b *testing.B, jobs int) {
+	net := scaleNet(jobs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The scale tier allocates tens of MB per op, so GC pacing is a
+		// large slice of op time; collecting the previous iteration's
+		// garbage off the clock gives every iteration the same starting
+		// heap — otherwise ns/op swings far past the bench-compare
+		// threshold from heap history alone.
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+		tg, err := taskgraph.Derive(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tg.Jobs) < jobs {
+			b.Fatalf("%d jobs, want >= %d", len(tg.Jobs), jobs)
+		}
+	}
+}
+
+func benchmarkScaleSchedule(b *testing.B, jobs int) {
+	tg, err := taskgraph.Derive(scaleNet(jobs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC() // see benchmarkScaleDerive
+		b.StartTimer()
+		s, err := sched.ListSchedule(tg, scaleProcessors, sched.ALAPEDF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkScaleRun measures steady-state replay of one hyperperiod frame
+// on a warm pooled RunState, the regime the zero-alloc engine work targets.
+func benchmarkScaleRun(b *testing.B, jobs int) {
+	net := scaleNet(jobs)
+	tg, err := taskgraph.Derive(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.ListSchedule(tg, scaleProcessors, sched.ALAPEDF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := fppn.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fppn.RunConfig{Frames: 1, Inputs: nettest.Inputs(net, 16)}
+	rs := p.NewRunState()
+	if _, err := rs.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC() // see benchmarkScaleDerive
+		b.StartTimer()
+		rep, err := rs.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Misses) != 0 {
+			b.Fatal("unexpected misses")
+		}
+	}
+}
+
+func BenchmarkScaleDerive10k(b *testing.B)    { benchmarkScaleDerive(b, 10000) }
+func BenchmarkScaleSchedule10k(b *testing.B)  { benchmarkScaleSchedule(b, 10000) }
+func BenchmarkScaleRun10k(b *testing.B)       { benchmarkScaleRun(b, 10000) }
+func BenchmarkScaleDerive100k(b *testing.B)   { benchmarkScaleDerive(b, 100000) }
+func BenchmarkScaleSchedule100k(b *testing.B) { benchmarkScaleSchedule(b, 100000) }
+func BenchmarkScaleRun100k(b *testing.B)      { benchmarkScaleRun(b, 100000) }
 
 // benchmarkPortfolioWorkers races all four SP heuristics on the FMS task
 // graph; the sequential and parallel runs return byte-identical winners.

@@ -11,7 +11,10 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok trailers)
 // are ignored. The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so
-// the keys are stable across machines.
+// the keys are stable across machines. The document carries provenance
+// under the reserved "_meta" key (commit, GOMAXPROCS, go version);
+// -compare ignores "_"-prefixed keys, so records with and without
+// metadata diff cleanly.
 //
 // With -compare, the fresh results are diffed against a previously recorded
 // JSON document: a per-benchmark table of old/new ns/op and the relative
@@ -31,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +49,26 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// Meta records the provenance of a benchmark document under the reserved
+// "_meta" key: the commit the numbers were measured at and the parallelism
+// they were measured with. Keys starting with "_" are ignored by -compare,
+// so older records without metadata still diff cleanly.
+type Meta struct {
+	Commit     string `json:"commit,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// currentMeta collects the provenance of this run. The commit hash is
+// best-effort: outside a git checkout it is simply omitted.
+func currentMeta() Meta {
+	m := Meta{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	return m
 }
 
 // parseLine decodes one `go test -bench` result line, e.g.
@@ -163,7 +188,12 @@ func main() {
 	}
 	sort.Strings(names)
 
-	data, err := json.MarshalIndent(results, "", "  ")
+	doc := make(map[string]any, len(results)+1)
+	for n, r := range results {
+		doc[n] = r
+	}
+	doc["_meta"] = currentMeta()
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -186,10 +216,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		baseline := make(map[string]Result)
-		if err := json.Unmarshal(raw, &baseline); err != nil {
+		// Decode loosely first: "_"-prefixed keys carry metadata, not
+		// benchmark results, and are excluded from the diff.
+		var rawDoc map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &rawDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
 			os.Exit(1)
+		}
+		baseline := make(map[string]Result, len(rawDoc))
+		for n, msg := range rawDoc {
+			if strings.HasPrefix(n, "_") {
+				continue
+			}
+			var r Result
+			if err := json.Unmarshal(msg, &r); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %s: %v\n", *compare, n, err)
+				os.Exit(1)
+			}
+			baseline[n] = r
 		}
 		if n := compareResults(os.Stderr, baseline, results, *threshold); n > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% over %s\n",

@@ -74,6 +74,16 @@ func TestCompareResultsWithinThreshold(t *testing.T) {
 	}
 }
 
+func TestCurrentMetaRecordsRuntime(t *testing.T) {
+	m := currentMeta()
+	if m.GoMaxProcs < 1 {
+		t.Fatalf("GoMaxProcs = %d, want >= 1", m.GoMaxProcs)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q, want a go version string", m.GoVersion)
+	}
+}
+
 func TestParseLineRejectsNonResults(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

@@ -14,9 +14,19 @@ package analyzers
 // pipeline itself builds the artifact — and so are writes inside helpers
 // that only the compile entry points reach.
 //
+// The pass also guards the frozen artifacts' backing storage from the
+// other direction: per-run state types (plan.RunState) hold a reference
+// to the artifact they replay, and a RunState field assignment whose
+// value selects into the Plan — rs.scratch = rs.p.table, or p := rs.p;
+// rs.buf = p.table[:0] — retains a pointer into Plan-owned memory that
+// later runs write through, silently breaking the immutability the
+// happens-before verdict depends on. Storing the bare artifact reference
+// itself (rs.p, during Reset) is the designed ownership link and exempt.
+//
 // Like jobreach, resolution is syntactic: frozen values are recognized
 // when they appear as the receiver or as parameters of the enclosing
-// function; aliases assigned to fresh locals are not tracked.
+// function, or as locals bound directly from a retainer's artifact
+// reference field (p := rs.p); other aliases are not tracked.
 
 import (
 	"go/ast"
@@ -48,11 +58,29 @@ var compileEntries = map[string]map[string]bool{
 	"internal/core": {"CompileNetwork": true, "CompileNetworkOpts": true},
 }
 
-// frozenWrite is one mutation of a frozen value inside a function body.
+// retainerSpec describes a per-run state type that references a frozen
+// artifact: the field holding the reference and the artifact's display
+// label.
+type retainerSpec struct {
+	field    string
+	artifact string
+}
+
+// retainerTypes names, per module-relative directory, the per-run state
+// types whose fields must never alias storage owned by their frozen
+// artifact.
+var retainerTypes = map[string]map[string]retainerSpec{
+	"internal/plan": {"RunState": {field: "p", artifact: "plan.Plan"}},
+}
+
+// frozenWrite is one mutation of a frozen value inside a function body,
+// or (src != "") a store that retains frozen-owned memory in per-run
+// state.
 type frozenWrite struct {
 	pos  token.Pos
 	expr string // rendered LHS, e.g. "p.capFrames"
 	typ  string // the frozen type written through, e.g. "plan.Plan"
+	src  string // for alias findings: the rendered frozen-rooted value
 }
 
 func runPlanFreeze(p *ModulePass) {
@@ -116,6 +144,13 @@ func runPlanFreeze(p *ModulePass) {
 					continue
 				}
 				reported[w.pos] = true
+				if w.src != "" {
+					p.Reportf(w.pos,
+						"write %s retains %s — memory owned by the compiled %s — in per-run state (call path: %s); "+
+							"aliasing writes would break the immutability the happens-before verdict relies on",
+						w.expr, w.src, w.typ, g.chain(parent, key))
+					continue
+				}
 				p.Reportf(w.pos,
 					"write %s mutates a compiled %s outside the compile pipeline (call path: %s); "+
 						"compiled artifacts are frozen, move per-run state to RunState",
@@ -135,17 +170,25 @@ func runPlanFreeze(p *ModulePass) {
 }
 
 // findFrozenWrites scans one function for assignments through its
-// frozen-typed receiver or parameters.
+// frozen-typed receiver or parameters, and for stores that retain
+// frozen-owned memory in a retainer's fields.
 func findFrozenWrites(p *ModulePass, n *funcNode) []frozenWrite {
-	frozen := make(map[string]string) // identifier -> frozen type label
+	frozen := make(map[string]string)         // identifier -> frozen type label
+	retainer := make(map[string]retainerSpec) // identifier -> retainer spec
 	bind := func(names []*ast.Ident, typ ast.Expr) {
-		label, ok := frozenTypeOf(p, n, typ)
-		if !ok {
+		label, isFrozen := frozenTypeOf(p, n, typ)
+		spec, isRetainer := retainerSpecOf(p, n, typ)
+		if !isFrozen && !isRetainer {
 			return
 		}
 		for _, name := range names {
-			if name.Name != "_" {
+			if name.Name == "_" {
+				continue
+			}
+			if isFrozen {
 				frozen[name.Name] = label
+			} else {
+				retainer[name.Name] = spec
 			}
 		}
 	}
@@ -159,7 +202,7 @@ func findFrozenWrites(p *ModulePass, n *funcNode) []frozenWrite {
 			bind(f.Names, f.Type)
 		}
 	}
-	if len(frozen) == 0 {
+	if len(frozen) == 0 && len(retainer) == 0 {
 		return nil
 	}
 
@@ -181,21 +224,61 @@ func findFrozenWrites(p *ModulePass, n *funcNode) []frozenWrite {
 			typ:  typ,
 		})
 	}
+	recordAlias := func(lhs, rhs ast.Expr) {
+		base, chain := lhsRoot(lhs)
+		if base == nil || len(chain) == 0 {
+			return
+		}
+		if _, ok := retainer[base.Name]; !ok {
+			return
+		}
+		src, artifact, found := deepFrozenRef(rhs, frozen, retainer)
+		if !found {
+			return
+		}
+		out = append(out, frozenWrite{
+			pos:  lhs.Pos(),
+			expr: base.Name + strings.Join(chain, ""),
+			typ:  artifact,
+			src:  src,
+		})
+	}
 	ast.Inspect(n.body, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.AssignStmt:
 			if node.Tok == token.DEFINE {
 				// x := ... introduces new locals; also un-track any
-				// frozen name it shadows.
+				// frozen or retainer name it shadows. A local bound
+				// directly from a retainer's artifact reference field
+				// (p := rs.p) is a frozen alias and tracked as such.
 				for _, lhs := range node.Lhs {
 					if id, ok := lhs.(*ast.Ident); ok {
 						delete(frozen, id.Name)
+						delete(retainer, id.Name)
+					}
+				}
+				if len(node.Lhs) == len(node.Rhs) {
+					for i, lhs := range node.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						if base, chain := lhsRoot(node.Rhs[i]); base != nil && len(chain) == 1 {
+							if spec, ok := retainer[base.Name]; ok && chain[0] == "."+spec.field {
+								frozen[id.Name] = spec.artifact
+							}
+						}
 					}
 				}
 				return true
 			}
 			for _, lhs := range node.Lhs {
 				record(lhs)
+			}
+			if len(node.Lhs) == len(node.Rhs) {
+				for i, lhs := range node.Lhs {
+					recordAlias(lhs, node.Rhs[i])
+				}
 			}
 		case *ast.IncDecStmt:
 			record(node.X)
@@ -204,6 +287,51 @@ func findFrozenWrites(p *ModulePass, n *funcNode) []frozenWrite {
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
 	return out
+}
+
+// deepFrozenRef scans an assigned value for an expression that selects
+// into a frozen artifact — through a frozen-typed variable (p.table,
+// p.table[:0]) or through a retainer's artifact reference field
+// (rs.p.table). The bare reference (rs.p, or a frozen identifier alone)
+// is the designed ownership link, not an alias of artifact-owned backing,
+// and does not match. Call results are skipped: they copy values out, and
+// flagging them would flag every len/cap derivation.
+func deepFrozenRef(e ast.Expr, frozen map[string]string, retainer map[string]retainerSpec) (string, string, bool) {
+	if base, chain := lhsRoot(e); base != nil && len(chain) > 0 {
+		if label, ok := frozen[base.Name]; ok {
+			return base.Name + strings.Join(chain, ""), label, true
+		}
+		if spec, ok := retainer[base.Name]; ok && chain[0] == "."+spec.field && len(chain) > 1 {
+			return base.Name + strings.Join(chain, ""), spec.artifact, true
+		}
+	}
+	var children []ast.Expr
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		children = []ast.Expr{e.X}
+	case *ast.UnaryExpr:
+		children = []ast.Expr{e.X}
+	case *ast.BinaryExpr:
+		children = []ast.Expr{e.X, e.Y}
+	case *ast.CompositeLit:
+		children = e.Elts
+	case *ast.KeyValueExpr:
+		children = []ast.Expr{e.Value}
+	case *ast.SliceExpr:
+		children = []ast.Expr{e.X}
+	case *ast.IndexExpr:
+		children = []ast.Expr{e.X}
+	case *ast.SelectorExpr:
+		children = []ast.Expr{e.X}
+	case *ast.StarExpr:
+		children = []ast.Expr{e.X}
+	}
+	for _, c := range children {
+		if expr, label, ok := deepFrozenRef(c, frozen, retainer); ok {
+			return expr, label, ok
+		}
+	}
+	return "", "", false
 }
 
 // lhsRoot unwraps an assignment target to its base identifier and the
@@ -235,6 +363,38 @@ func lhsRoot(lhs ast.Expr) (*ast.Ident, []string) {
 			return nil, nil
 		}
 	}
+}
+
+// retainerSpecOf reports whether a receiver or parameter type denotes a
+// per-run retainer type, returning its spec.
+func retainerSpecOf(p *ModulePass, n *funcNode, t ast.Expr) (retainerSpec, bool) {
+	for {
+		star, ok := t.(*ast.StarExpr)
+		if !ok {
+			break
+		}
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		if spec, ok := retainerTypes[n.pkg.Dir][t.Name]; ok {
+			return spec, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := t.X.(*ast.Ident)
+		if !ok {
+			return retainerSpec{}, false
+		}
+		imp := importedPath(n.file, base.Name)
+		if !p.Internal(imp) {
+			return retainerSpec{}, false
+		}
+		rel := strings.TrimPrefix(imp, p.Module+"/")
+		if spec, ok := retainerTypes[rel][t.Sel.Name]; ok {
+			return spec, true
+		}
+	}
+	return retainerSpec{}, false
 }
 
 // frozenTypeOf reports whether a receiver or parameter type denotes one

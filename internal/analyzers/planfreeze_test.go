@@ -154,6 +154,92 @@ func (p *Plan) Tune() {
 	}
 }
 
+// runStateModule lays out a fixture with a Plan, its compile entry, and a
+// RunState retaining the plan reference, plus the given extra source.
+func runStateModule(extra string) map[string]string {
+	return map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/plan/plan.go": `package plan
+
+type Plan struct {
+	table []int
+}
+
+func Compile() *Plan {
+	p := &Plan{table: make([]int, 4)}
+	return p
+}
+
+type RunState struct {
+	p       *Plan
+	scratch []int
+}
+
+func (p *Plan) NewRunState() *RunState { return &RunState{p: p} }
+` + extra,
+	}
+}
+
+// A RunState field assignment whose value selects into the Plan retains a
+// pointer into Plan-owned memory — the new aliasing class of violation.
+func TestPlanFreezeFlagsRunStateAlias(t *testing.T) {
+	diags := only(checkAll(t, runStateModule(`
+func (rs *RunState) Warm() {
+	rs.scratch = rs.p.table
+}
+`)), "planfreeze")
+	if len(diags) != 1 {
+		t.Fatalf("want one planfreeze diagnostic, got:\n%s", messages(diags))
+	}
+	for _, want := range []string{"rs.scratch", "rs.p.table", "plan.Plan", "retains"} {
+		if !strings.Contains(diags[0].Message, want) {
+			t.Errorf("diagnostic missing %q: %s", want, diags[0].Message)
+		}
+	}
+}
+
+// The alias is also caught through the idiomatic local plan binding, and a
+// mutation through that local is flagged as a frozen write.
+func TestPlanFreezeRunStateLocalPlanAlias(t *testing.T) {
+	diags := only(checkAll(t, runStateModule(`
+func (rs *RunState) Prep() {
+	p := rs.p
+	rs.scratch = p.table[:0]
+}
+
+func (rs *RunState) Poke() {
+	p := rs.p
+	p.table[0] = 1
+}
+`)), "planfreeze")
+	if len(diags) != 2 {
+		t.Fatalf("want two planfreeze diagnostics, got:\n%s", messages(diags))
+	}
+	joined := messages(diags)
+	for _, want := range []string{"rs.scratch retains p.table", "p.table[…]", "mutates"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// Storing the bare plan reference (the Reset pattern) and recycling the
+// RunState's own arenas are the designed pooling idioms — exempt.
+func TestPlanFreezeRunStateOwnershipExempt(t *testing.T) {
+	diags := only(checkAll(t, runStateModule(`
+func (rs *RunState) Reset() {
+	*rs = RunState{p: rs.p}
+}
+
+func (rs *RunState) Shrink() {
+	rs.scratch = rs.scratch[:0]
+}
+`)), "planfreeze")
+	if len(diags) != 0 {
+		t.Fatalf("ownership link or arena recycling flagged:\n%s", messages(diags))
+	}
+}
+
 // The real repository must be planfreeze-clean: the RunState split moved
 // every per-run write off the compiled artifacts. (CheckAll over the
 // repo root is exercised by TestJobReachRepositoryClean; this test pins

@@ -238,10 +238,10 @@ func (s *sensorInput) Step(ctx *core.JobContext) error {
 		f, _ := v.(float64)
 		return f
 	}
-	ctx.Write(ChanAnemoData, frame.Anemo+read(ChanAnemoCfg))
-	ctx.Write(ChanGPSData, frame.GPS+read(ChanGPSCfg))
-	ctx.Write(ChanIRSData, frame.IRS+read(ChanIRSCfg))
-	ctx.Write(ChanDopplerData, frame.Doppler+read(ChanDopplerCfg))
+	ctx.Write(ChanAnemoData, ctx.BoxFloat(frame.Anemo+read(ChanAnemoCfg)))
+	ctx.Write(ChanGPSData, ctx.BoxFloat(frame.GPS+read(ChanGPSCfg)))
+	ctx.Write(ChanIRSData, ctx.BoxFloat(frame.IRS+read(ChanIRSCfg)))
+	ctx.Write(ChanDopplerData, ctx.BoxFloat(frame.Doppler+read(ChanDopplerCfg)))
 	return nil
 }
 
@@ -264,9 +264,10 @@ func (h *highFreqBCP) Step(ctx *core.JobContext) error {
 	decl := read(ChanMagnDecl)
 	bcp := gain*(0.4*read(ChanGPSData)+0.3*read(ChanIRSData)+
 		0.2*read(ChanDopplerData)+0.1*read(ChanAnemoData)) + decl
-	ctx.Write(ChanBCPData, bcp)
-	ctx.Write(ChanBCPForPerf, bcp)
-	ctx.WriteOutput(ExtBCP, bcp)
+	boxed := ctx.BoxFloat(bcp)
+	ctx.Write(ChanBCPData, boxed)
+	ctx.Write(ChanBCPForPerf, boxed)
+	ctx.WriteOutput(ExtBCP, boxed)
 	return nil
 }
 
@@ -280,7 +281,7 @@ func (l *lowFreqBCP) Step(ctx *core.JobContext) error {
 	v, _ := ctx.Read(ChanBCPData)
 	bcp, _ := v.(float64)
 	l.state = 0.75*l.state + 0.25*bcp
-	ctx.WriteOutput(ExtBCPLow, l.state)
+	ctx.WriteOutput(ExtBCPLow, ctx.BoxFloat(l.state))
 	return nil
 }
 func (l *lowFreqBCP) Clone() core.Behavior { return &lowFreqBCP{} }
@@ -310,7 +311,7 @@ func (m *magnDeclin) Step(ctx *core.JobContext) error {
 		body := (m.calls - 1) / m.bodyEvery
 		m.last = declinationTable[body%len(declinationTable)] * scale
 	}
-	ctx.Write(ChanMagnDecl, m.last)
+	ctx.Write(ChanMagnDecl, ctx.BoxFloat(m.last))
 	return nil
 }
 func (m *magnDeclin) Clone() core.Behavior { return &magnDeclin{bodyEvery: m.bodyEvery} }
@@ -332,7 +333,7 @@ func (p *performance) Step(ctx *core.JobContext) error {
 	}
 	burn := cfg * (1 + bcp/10000)
 	p.fuel -= burn
-	ctx.WriteOutput(ExtPerformance, p.fuel)
+	ctx.WriteOutput(ExtPerformance, ctx.BoxFloat(p.fuel))
 	return nil
 }
 func (p *performance) Clone() core.Behavior { return &performance{} }
@@ -350,8 +351,9 @@ func (c *cfgSource) Init() { c.n = 0 }
 func (c *cfgSource) Step(ctx *core.JobContext) error {
 	c.n++
 	value := float64(c.seed) * 0.1 * float64(2+c.n%5)
+	boxed := ctx.BoxFloat(value)
 	for _, out := range ctx.Outputs() {
-		ctx.Write(out, value)
+		ctx.Write(out, boxed)
 	}
 	return nil
 }

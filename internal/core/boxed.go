@@ -1,0 +1,60 @@
+package core
+
+import "unsafe"
+
+// Boxing a float64 into a Value normally heap-allocates an 8-byte cell per
+// conversion (runtime.convT64), and channel samples are retained until the
+// run ends — so a behavior writing float samples allocates on every job, no
+// matter how carefully the engine itself pools. floatArena removes that
+// last per-frame allocation source: it owns chunks of float64 cells, hands
+// one out per boxed value, and Machine.Reset recycles all of them for the
+// next run. Cells are written exactly once, before the Value escapes, so
+// within a run every boxed Value is immutable, exactly like an ordinary
+// boxed float. Across runs the cells are reused, which is the same
+// lifetime contract as every other pooled run artifact: a Report obtained
+// from a pooled RunState is valid until the next run on that state.
+//
+// The construction copies a prototype interface value and repoints its data
+// word at the arena cell. Both words of the resulting eface reference live
+// objects at all times (the runtime float64 type descriptor and a cell kept
+// reachable by the arena), so the value is indistinguishable from a
+// runtime-boxed float64 — ==, type asserts, reflect.DeepEqual and JSON all
+// behave identically.
+type floatArena struct {
+	chunks [][]float64
+	ci     int // chunk currently being filled
+	off    int // next free cell in chunks[ci]
+}
+
+// floatChunkSize balances steady-state footprint against append frequency;
+// one chunk covers a typical frame's float traffic.
+const floatChunkSize = 512
+
+// eface mirrors the runtime layout of an empty interface. Value is an
+// empty interface type, so the same layout applies.
+type eface struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+// float64Prototype carries the runtime type descriptor for boxed float64
+// values; box copies it and swaps the data word.
+var float64Prototype Value = float64(0)
+
+func (a *floatArena) box(f float64) Value {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]float64, floatChunkSize))
+	}
+	cell := &a.chunks[a.ci][a.off]
+	if a.off++; a.off == floatChunkSize {
+		a.ci++
+		a.off = 0
+	}
+	*cell = f
+	v := float64Prototype
+	(*eface)(unsafe.Pointer(&v)).data = unsafe.Pointer(cell)
+	return v
+}
+
+// reset makes every cell reusable; the chunks themselves are retained.
+func (a *floatArena) reset() { a.ci, a.off = 0, 0 }

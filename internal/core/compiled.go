@@ -39,8 +39,10 @@ type CompiledNet struct {
 	inID    [][]int
 	outName [][]string
 	outID   [][]int
-	// Sorted external channel names per pid (the JobContext accessor
-	// contract) — computed once instead of per job execution run.
+	// Sorted channel names per pid (the JobContext accessor contract) —
+	// computed once instead of per job execution run.
+	inSorted     [][]string
+	outSorted    [][]string
 	extInSorted  [][]string
 	extOutSorted [][]string
 
@@ -119,6 +121,8 @@ func CompileNetworkOpts(net *Network, opts CompileOptions) (*CompiledNet, error)
 	cn.inID = make([][]int, n)
 	cn.outName = make([][]string, n)
 	cn.outID = make([][]int, n)
+	cn.inSorted = make([][]string, n)
+	cn.outSorted = make([][]string, n)
 	cn.extInSorted = make([][]string, n)
 	cn.extOutSorted = make([][]string, n)
 	for pid, p := range cn.procs {
@@ -130,6 +134,8 @@ func CompileNetworkOpts(net *Network, opts CompileOptions) (*CompiledNet, error)
 			cn.outName[pid] = append(cn.outName[pid], ch)
 			cn.outID[pid] = append(cn.outID[pid], cn.chanID[ch])
 		}
+		cn.inSorted[pid] = sortedCopy(p.inputs)
+		cn.outSorted[pid] = sortedCopy(p.outputs)
 		cn.extInSorted[pid] = sortedCopy(p.extIn)
 		cn.extOutSorted[pid] = sortedCopy(p.extOut)
 		if p.IsSporadic() {

@@ -50,10 +50,17 @@ type Machine struct {
 	counts    []int64        // by pid
 	inputs    map[string][]Value
 	outputs   map[string][]Sample
-	outCap    map[string]int
-	trace     Trace
-	record    bool
-	ctx       JobContext // reused across ExecJob calls
+	// outPool recycles the sample storage of output channels across
+	// Reset: outputs must only contain channels actually written (their
+	// key set is observable), so Reset moves each slice here and the
+	// first write of the next run takes it back — steady-state replay
+	// re-creates the same key set without allocating.
+	outPool map[string][]Sample
+	outCap  map[string]int
+	trace   Trace
+	record  bool
+	floats  floatArena // recycled cells behind JobContext.BoxFloat
+	ctx     JobContext // reused across ExecJob calls
 }
 
 // NewMachine creates a Machine for a validated network. Behaviors
@@ -132,6 +139,54 @@ func NewMachineCompiled(cn *CompiledNet, opts MachineOptions) (*Machine, error) 
 		m.behaviors[pid] = b
 	}
 	return m, nil
+}
+
+// Reset returns the machine to its initial state so it can execute another
+// run, retaining every internal buffer: channel pools keep their storage,
+// output sample slices move to the recycle pool, and the trace backing is
+// truncated. After Reset the machine is observationally identical to a
+// freshly constructed one over the same CompiledNet — steady-state replay
+// reuses one machine with zero per-run allocations.
+//
+// Behaviors are re-Init-ed, relying on the same contract as construction:
+// Init fully resets behavior state. FIFOCapacity hints in opts are ignored
+// (the rings already exist and grow on demand); Inputs, OutputCapacity and
+// RecordTrace are applied as in NewMachineCompiled.
+func (m *Machine) Reset(opts MachineOptions) error {
+	for ch := range opts.Inputs {
+		if _, ok := m.cn.net.extIn[ch]; !ok {
+			return fmt.Errorf("core: inputs provided for unknown external input channel %q", ch)
+		}
+	}
+	for _, s := range m.chans {
+		s.reset()
+	}
+	clear(m.counts)
+	// Keys of m.outputs are observable (only channels actually written
+	// appear), so the map is emptied rather than truncated in place; the
+	// sample storage is parked in outPool for the next run's first writes.
+	if len(m.outputs) > 0 && m.outPool == nil {
+		m.outPool = make(map[string][]Sample, len(m.outputs))
+	}
+	for ch, s := range m.outputs {
+		m.outPool[ch] = s[:0]
+	}
+	clear(m.outputs)
+	m.floats.reset()
+	m.inputs = opts.Inputs
+	m.outCap = opts.OutputCapacity
+	m.record = opts.RecordTrace
+	if m.record {
+		m.trace = m.trace[:0]
+	} else {
+		// A fresh non-recording machine reports a nil trace; drop the
+		// backing so pooled and fresh machines stay indistinguishable.
+		m.trace = nil
+	}
+	for _, b := range m.behaviors {
+		b.Init()
+	}
+	return nil
 }
 
 // Network returns the network this machine executes.
@@ -215,6 +270,55 @@ func (m *Machine) ChannelSnapshot() map[string][]Value {
 	return out
 }
 
+// ChannelSnapshotInto is ChannelSnapshot with caller-owned storage: dst is
+// cleared and refilled, and the per-channel value slices are carved out of
+// backing (grown only when the total snapshot size exceeds its capacity).
+// It returns the map and backing to pass to the next call; the snapshot in
+// dst aliases backing and is valid until that next call. Passing nil for
+// both is equivalent to ChannelSnapshot.
+func (m *Machine) ChannelSnapshotInto(dst map[string][]Value, backing []Value) (map[string][]Value, []Value) {
+	if dst == nil {
+		dst = make(map[string][]Value, len(m.chans))
+	} else {
+		clear(dst)
+	}
+	total := 0
+	for _, s := range m.chans {
+		total += s.len()
+	}
+	// Grow before carving: reallocating mid-loop would orphan the slices
+	// already handed to dst.
+	if cap(backing) < total {
+		backing = make([]Value, 0, total)
+	} else {
+		backing = backing[:0]
+	}
+	for _, cid := range m.cn.chanSorted {
+		name := m.cn.chans[cid].Name
+		switch s := m.chans[cid].(type) {
+		case *fifoState:
+			// Matches fifoState.snapshot: non-nil even when empty.
+			start := len(backing)
+			for i := 0; i < s.n; i++ {
+				backing = append(backing, s.buf[(s.head+i)%len(s.buf)])
+			}
+			dst[name] = backing[start:len(backing):len(backing)]
+		case *blackboardState:
+			// Matches blackboardState.snapshot: nil when uninitialized.
+			if s.initialized {
+				start := len(backing)
+				backing = append(backing, s.v)
+				dst[name] = backing[start : start+1 : start+1]
+			} else {
+				dst[name] = nil
+			}
+		default:
+			dst[name] = m.chans[cid].snapshot()
+		}
+	}
+	return dst, backing
+}
+
 // ChannelLen returns the number of readable values in the named channel.
 func (m *Machine) ChannelLen(name string) int {
 	cid, ok := m.cn.chanID[name]
@@ -259,12 +363,12 @@ func (c *JobContext) Now() Time { return c.now }
 func (c *JobContext) Process() string { return c.p.Name }
 
 // Inputs returns the internal input channels of the executing process,
-// sorted by name.
-func (c *JobContext) Inputs() []string { return c.p.Inputs() }
+// sorted by name. The slice is shared; callers must not mutate it.
+func (c *JobContext) Inputs() []string { return c.m.cn.inSorted[c.pid] }
 
 // Outputs returns the internal output channels of the executing process,
-// sorted by name.
-func (c *JobContext) Outputs() []string { return c.p.Outputs() }
+// sorted by name. The slice is shared; callers must not mutate it.
+func (c *JobContext) Outputs() []string { return c.m.cn.outSorted[c.pid] }
 
 // ExternalInputs returns the external input channels of the executing
 // process, sorted by name. The slice is shared; callers must not mutate it.
@@ -273,6 +377,14 @@ func (c *JobContext) ExternalInputs() []string { return c.m.cn.extInSorted[c.pid
 // ExternalOutputs returns the external output channels of the executing
 // process, sorted by name. The slice is shared; callers must not mutate it.
 func (c *JobContext) ExternalOutputs() []string { return c.m.cn.extOutSorted[c.pid] }
+
+// BoxFloat boxes f as a Value from the machine's recycled float arena, so
+// behaviors that write float samples stay allocation-free in steady-state
+// replay. The returned Value behaves exactly like an ordinary boxed
+// float64; its backing cell is recycled by Machine.Reset, giving it the
+// same lifetime as every other pooled run artifact (valid until the next
+// run on the same pooled state).
+func (c *JobContext) BoxFloat(f float64) Value { return c.m.floats.box(f) }
 
 func (c *JobContext) fail(format string, args ...any) {
 	if c.err == nil {
@@ -368,9 +480,12 @@ func (c *JobContext) WriteOutput(channel string, v Value) {
 	}
 	out := c.m.outputs[channel]
 	if out == nil {
-		// First write: apply the capacity hint, so a correctly sized
-		// hint means the sample slice never reallocates.
-		if capa := c.m.outCap[channel]; capa > 0 {
+		// First write: recycle the storage parked by Reset if this channel
+		// was written in a previous run, else apply the capacity hint so a
+		// correctly sized hint means the sample slice never reallocates.
+		if pooled, ok := c.m.outPool[channel]; ok {
+			out = pooled[:0]
+		} else if capa := c.m.outCap[channel]; capa > 0 {
 			out = make([]Sample, 0, capa)
 		}
 	}

@@ -152,10 +152,11 @@ type graph struct {
 	succ  [][]int // adjacency
 	edges int
 
-	// desc[v] is the bitset of nodes reachable from v (excluding v
-	// itself unless v lies on a cycle, which validated plans never do).
-	desc  [][]uint64
-	words int
+	// desc[v] is the bitset of JOB nodes reachable from job node v
+	// (excluding v itself unless v lies on a cycle, which validated plans
+	// never do). Gate nodes have no retained rows: conflict queries only
+	// ever name job nodes, so gate reachability is transient DP state.
+	desc [][]uint64
 }
 
 // node returns the graph node of job i in window frame f.
@@ -270,32 +271,98 @@ func buildGraph(p *plan.Plan) *graph {
 	return g
 }
 
-// close computes per-node descendant bitsets. The graph of a validated
-// plan is a DAG (all edge classes point forward in frame and time), so a
-// single reverse-topological sweep suffices; a defensive fixpoint loop
-// keeps the result correct even on degenerate hand-built inputs.
+// close computes per-job-node descendant bitsets, restricted to job-node
+// columns. The graph of a validated plan is a DAG (all edge classes point
+// forward in frame and time), so a single reverse-topological sweep
+// suffices. Gate nodes exist only to factor the quadratic time-separation
+// relation into O(nodes) edges; conflict queries never name them, so a
+// gate's row is drawn from a small pool during the sweep and released the
+// moment its last predecessor has folded it in — only the J×J job matrix
+// (J = w·n) is retained, instead of the full (J+gates)² closure.
 func (g *graph) close() {
-	g.words = (g.nodes + 63) / 64
-	g.desc = make([][]uint64, g.nodes)
-	backing := make([]uint64, g.nodes*g.words)
+	jobs := g.w * g.n
+	words := (jobs + 63) / 64
+	g.desc = make([][]uint64, jobs)
+	backing := make([]uint64, jobs*words)
 	for v := range g.desc {
-		g.desc[v] = backing[v*g.words : (v+1)*g.words]
+		g.desc[v] = backing[v*words : (v+1)*words]
 	}
 
-	order := g.topoOrder()
+	order, acyclic := g.topoOrder()
+	if !acyclic {
+		g.closeFixpoint(order)
+		return
+	}
+
+	// pending[s] counts unprocessed predecessors: once it hits zero no
+	// later sweep step reads s's row, so a gate row can be recycled.
+	pending := make([]int, g.nodes)
+	for _, succ := range g.succ {
+		for _, s := range succ {
+			pending[s]++
+		}
+	}
+	gateRow := make([][]uint64, g.nodes-jobs)
+	var pool [][]uint64
+	// Reverse topological order: successors first.
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		var dv []uint64
+		if v < jobs {
+			dv = g.desc[v]
+		} else {
+			if n := len(pool) - 1; n >= 0 {
+				dv, pool = pool[n], pool[:n]
+				clear(dv)
+			} else {
+				dv = make([]uint64, words)
+			}
+			gateRow[v-jobs] = dv
+		}
+		for _, s := range g.succ[v] {
+			var ds []uint64
+			if s < jobs {
+				dv[s/64] |= 1 << (s % 64)
+				ds = g.desc[s]
+			} else {
+				ds = gateRow[s-jobs]
+			}
+			for w := 0; w < words; w++ {
+				dv[w] |= ds[w]
+			}
+			if pending[s]--; pending[s] == 0 && s >= jobs {
+				pool = append(pool, gateRow[s-jobs])
+				gateRow[s-jobs] = nil
+			}
+		}
+	}
+}
+
+// closeFixpoint is the defensive slow path for graphs with a cycle
+// (impossible for validated plans, reachable from hand-built inputs): the
+// full per-node closure matrix, iterated to a fixpoint. Job rows keep
+// full-node width here — ordered only tests job-node bits, which occupy
+// the same positions either way.
+func (g *graph) closeFixpoint(order []int) {
+	words := (g.nodes + 63) / 64
+	desc := make([][]uint64, g.nodes)
+	backing := make([]uint64, g.nodes*words)
+	for v := range desc {
+		desc[v] = backing[v*words : (v+1)*words]
+	}
 	for pass := 0; pass < g.nodes; pass++ {
 		changed := false
 		// Reverse topological order: successors first.
 		for k := len(order) - 1; k >= 0; k-- {
 			v := order[k]
-			dv := g.desc[v]
+			dv := desc[v]
 			for _, s := range g.succ[v] {
 				if dv[s/64]&(1<<(s%64)) == 0 {
 					dv[s/64] |= 1 << (s % 64)
 					changed = true
 				}
-				ds := g.desc[s]
-				for w := 0; w < g.words; w++ {
+				ds := desc[s]
+				for w := 0; w < words; w++ {
 					if ds[w]&^dv[w] != 0 {
 						dv[w] |= ds[w]
 						changed = true
@@ -304,15 +371,16 @@ func (g *graph) close() {
 			}
 		}
 		if !changed {
-			return
+			break
 		}
 	}
+	g.desc = desc[:g.w*g.n]
 }
 
-// topoOrder returns a topological order via Kahn's algorithm; nodes on a
-// cycle (impossible for validated plans) are appended in index order and
-// handled by close's fixpoint loop.
-func (g *graph) topoOrder() []int {
+// topoOrder returns a topological order via Kahn's algorithm and whether
+// it covered every node; nodes on a cycle (impossible for validated plans)
+// are appended in index order and handled by the fixpoint slow path.
+func (g *graph) topoOrder() ([]int, bool) {
 	indeg := make([]int, g.nodes)
 	for _, succ := range g.succ {
 		for _, s := range succ {
@@ -338,12 +406,13 @@ func (g *graph) topoOrder() []int {
 			}
 		}
 	}
+	acyclic := len(order) == g.nodes
 	for v := 0; v < g.nodes; v++ {
 		if !seen[v] {
 			order = append(order, v)
 		}
 	}
-	return order
+	return order, acyclic
 }
 
 // ordered reports whether the two job instances are happens-before
@@ -355,52 +424,29 @@ func (g *graph) ordered(fa, a, fb, b int) bool {
 }
 
 // conflict is one structural conflict: two frame-job indices, the shared
-// resource and the operation labels.
+// resource (kind + name, joined lazily — only a witness ever renders the
+// string) and the operation labels.
 type conflict struct {
-	a, b     int
-	resource string
-	opA, opB string
+	a, b       int
+	kind, name string
+	opA, opB   string
 }
 
 // checkConflicts enumerates the conflicting access pairs and queries the
 // closed graph. Pairs are checked smallest frame delta first so the
-// witness is minimal in window distance.
+// witness is minimal in window distance. The enumeration is streamed:
+// conflicts are regenerated from the network structure for every frame
+// delta instead of being materialized into a scratch slice — on job-heavy
+// plans that slice is quadratic in the per-frame job count and dominated
+// the verifier's footprint.
 func (g *graph) checkConflicts() Verdict {
 	tg := g.tg
-	byProc := make(map[string][]int)
+	byProc := make(map[string][]int, len(tg.Net.ProcessNames()))
 	for i, j := range tg.Jobs {
 		byProc[j.Proc] = append(byProc[j.Proc], i)
 	}
-
-	// Structural conflicts at the process/channel level; instances are
-	// expanded per frame delta below.
-	var conflicts []conflict
-	for _, name := range tg.Net.ProcessNames() {
-		jobs := byProc[name]
-		for x := 0; x < len(jobs); x++ {
-			for y := x; y < len(jobs); y++ {
-				conflicts = append(conflicts, conflict{
-					a: jobs[x], b: jobs[y],
-					resource: "process " + name,
-					opA:      "state", opB: "state",
-				})
-			}
-		}
-	}
-	for _, c := range tg.Net.Channels() {
-		if c.Writer == c.Reader {
-			continue // ordered by the process's own job order
-		}
-		for _, wj := range byProc[c.Writer] {
-			for _, rj := range byProc[c.Reader] {
-				conflicts = append(conflicts, conflict{
-					a: wj, b: rj,
-					resource: "channel " + c.Name,
-					opA:      "writes", opB: "reads",
-				})
-			}
-		}
-	}
+	names := tg.Net.ProcessNames()
+	chans := tg.Net.Channels()
 
 	v := Verdict{RaceFree: true, Frames: g.w, Nodes: g.nodes, Edges: g.edges}
 	report := func(delta int, c conflict, swapped bool) {
@@ -414,34 +460,62 @@ func (g *graph) checkConflicts() Verdict {
 			a, b = Access{Frame: 0, Job: c.b, Name: tg.Jobs[c.b].Name(), Proc: g.jobProc[c.b], Op: c.opB},
 				Access{Frame: delta, Job: c.a, Name: tg.Jobs[c.a].Name(), Proc: g.jobProc[c.a], Op: c.opA}
 		}
-		v.Witness = &Witness{Resource: c.resource, A: a, B: b}
+		v.Witness = &Witness{Resource: c.kind + " " + c.name, A: a, B: b}
+	}
+	check := func(delta int, c conflict) {
+		if delta == 0 {
+			if c.a == c.b {
+				return // one instance is not a pair
+			}
+			v.Pairs++
+			if !g.ordered(0, c.a, 0, c.b) {
+				v.RaceFree = false
+				report(0, c, false)
+			}
+			return
+		}
+		// (0, a) against (delta, b) and (0, b) against (delta, a):
+		// with a frame shift these cover every instance pair of the
+		// conflict at this distance.
+		v.Pairs++
+		if !g.ordered(0, c.a, delta, c.b) {
+			v.RaceFree = false
+			report(delta, c, false)
+		}
+		if c.a != c.b {
+			v.Pairs++
+			if !g.ordered(0, c.b, delta, c.a) {
+				v.RaceFree = false
+				report(delta, c, true)
+			}
+		}
 	}
 	for delta := 0; delta < g.w; delta++ {
-		for _, c := range conflicts {
-			if delta == 0 {
-				if c.a == c.b {
-					continue // one instance is not a pair
+		// Same-process shared state: every instance pair of a process.
+		for _, name := range names {
+			jobs := byProc[name]
+			for x := 0; x < len(jobs); x++ {
+				for y := x; y < len(jobs); y++ {
+					check(delta, conflict{
+						a: jobs[x], b: jobs[y],
+						kind: "process", name: name,
+						opA: "state", opB: "state",
+					})
 				}
-				v.Pairs++
-				if !g.ordered(0, c.a, 0, c.b) {
-					v.RaceFree = false
-					report(0, c, false)
-				}
-				continue
 			}
-			// (0, a) against (delta, b) and (0, b) against (delta, a):
-			// with a frame shift these cover every instance pair of the
-			// conflict at this distance.
-			v.Pairs++
-			if !g.ordered(0, c.a, delta, c.b) {
-				v.RaceFree = false
-				report(delta, c, false)
+		}
+		// Internal channels: writer instance × reader instance.
+		for _, c := range chans {
+			if c.Writer == c.Reader {
+				continue // ordered by the process's own job order
 			}
-			if c.a != c.b {
-				v.Pairs++
-				if !g.ordered(0, c.b, delta, c.a) {
-					v.RaceFree = false
-					report(delta, c, true)
+			for _, wj := range byProc[c.Writer] {
+				for _, rj := range byProc[c.Reader] {
+					check(delta, conflict{
+						a: wj, b: rj,
+						kind: "channel", name: c.Name,
+						opA: "writes", opB: "reads",
+					})
 				}
 			}
 		}

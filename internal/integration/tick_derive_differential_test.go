@@ -1,0 +1,129 @@
+// Differential harness for the tick-lowered derivation: the int64 tick
+// simulation (the default) must produce task graphs byte-identical to the
+// exact-rational reference path (Options.ReferenceTimescale), which remains
+// in the tree as the overflow fallback and oracle. Checked on the paper
+// applications (with and without deadline slack) and a corpus of random
+// networks; FuzzDeriveTickMatchesRational explores arbitrary seeds.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/fft"
+	"repro/internal/apps/fms"
+	"repro/internal/apps/signal"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/nettest"
+	"repro/internal/rational"
+	"repro/internal/taskgraph"
+)
+
+// deriveBothTimescales derives net twice — tick lowering and rational
+// reference — and fails the test unless the graphs are deep-equal and
+// their canonical JSON serializations byte-identical.
+func deriveBothTimescales(t *testing.T, net *core.Network, opts taskgraph.Options) {
+	t.Helper()
+	opts.ReferenceTimescale = false
+	tick, err := taskgraph.DeriveOpts(net, opts)
+	if err != nil {
+		t.Fatalf("tick derive: %v", err)
+	}
+	opts.ReferenceTimescale = true
+	ref, err := taskgraph.DeriveOpts(net, opts)
+	if err != nil {
+		t.Fatalf("rational derive: %v", err)
+	}
+	if !reflect.DeepEqual(tick, ref) {
+		t.Fatal("tick-derived task graph differs from the rational reference")
+	}
+	tickJSON, err := export.MarshalIndent(export.TaskGraph(tick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := export.MarshalIndent(export.TaskGraph(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tickJSON != refJSON {
+		t.Fatal("tick-derived task-graph JSON differs from the rational reference")
+	}
+}
+
+// TestDeriveTickMatchesRationalPaperApps pins the tick/rational equivalence
+// on the paper applications, including a pipelined (deadline-slack) variant
+// and the kept-redundant-edges mode.
+func TestDeriveTickMatchesRationalPaperApps(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() *core.Network
+	}{
+		{"signal", signal.New},
+		{"fft", fft.New},
+		{"fft-overhead", fft.NewWithOverheadJob},
+		{"fms", fms.New},
+	}
+	variants := []struct {
+		name string
+		opts taskgraph.Options
+	}{
+		{"default", taskgraph.Options{}},
+		{"slack", taskgraph.Options{DeadlineSlack: rational.New(1, 200)}},
+		{"unreduced", taskgraph.Options{KeepRedundantEdges: true}},
+	}
+	for _, b := range builds {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			t.Parallel()
+			net := b.build()
+			for _, v := range variants {
+				t.Run(v.name, func(t *testing.T) {
+					deriveBothTimescales(t, net, v.opts)
+				})
+			}
+		})
+	}
+}
+
+// TestDeriveTickMatchesRationalRandomNetworks sweeps ≥50 random networks
+// through both timescales.
+func TestDeriveTickMatchesRationalRandomNetworks(t *testing.T) {
+	trials := trialCount(t, 50)
+	rng := rand.New(rand.NewSource(171717))
+	for trial := 0; trial < trials; trial++ {
+		net := nettest.Random(rng, nettest.Options{})
+		trial := trial
+		t.Run(fmt.Sprintf("net%03d", trial), func(t *testing.T) {
+			deriveBothTimescales(t, net, taskgraph.Options{})
+		})
+	}
+}
+
+// FuzzDeriveTickMatchesRational explores generator seeds, demanding the
+// tick-lowered derivation reproduce the rational oracle exactly.
+func FuzzDeriveTickMatchesRational(f *testing.F) {
+	for seed := 0; seed < trialCount(f, 16); seed++ {
+		f.Add(int64(seed))
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		net := nettest.Random(rng, nettest.Options{})
+		tick, tickErr := taskgraph.DeriveOpts(net, taskgraph.Options{})
+		ref, refErr := taskgraph.DeriveOpts(net, taskgraph.Options{ReferenceTimescale: true})
+		if (tickErr == nil) != (refErr == nil) {
+			t.Fatalf("error mismatch: tick %v, rational %v", tickErr, refErr)
+		}
+		if tickErr != nil {
+			if tickErr.Error() != refErr.Error() {
+				t.Fatalf("error text mismatch:\ntick:     %v\nrational: %v", tickErr, refErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(tick, ref) {
+			t.Fatal("tick-derived task graph diverges from the rational reference")
+		}
+	})
+}

@@ -120,6 +120,100 @@ func Random(rng *rand.Rand, opts Options) *core.Network {
 	return n
 }
 
+// ScaleOptions bounds a generated scale-tier network.
+type ScaleOptions struct {
+	// TargetJobs is the approximate jobs-per-hyperperiod the generated
+	// network reaches: the generator adds processes until the running job
+	// total meets it (default 10000). The derived graph lands within one
+	// process's job count (at most 8) of the target.
+	TargetJobs int
+	// Processors is the processor count the network is sized for: WCETs
+	// are chosen so total utilization is 50% of it (default 8).
+	Processors int
+	// Depth is the layer count of the channel DAG (default 4). Critical
+	// paths stay Depth jobs long, so feasibility never hinges on chains.
+	Depth int
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if o.TargetJobs == 0 {
+		o.TargetJobs = 10000
+	}
+	if o.Processors == 0 {
+		o.Processors = 8
+	}
+	if o.Depth == 0 {
+		o.Depth = 4
+	}
+	return o
+}
+
+// Scale generates the scale benchmark tier: a layered multi-rate periodic
+// network with approximately opts.TargetJobs jobs per hyperperiod. Unlike
+// Random it trades feature breadth for size — no sporadic servers, one
+// input channel per non-source process — so end-to-end pipeline
+// benchmarks (derive → schedule → compile → run) measure per-job compile
+// and replay cost, not event-handling corner cases. Rate-crossing links
+// are blackboards (latest-value semantics need no rate matching);
+// rate-matched links are FIFOs. Utilization is spread uniformly so the
+// network stays list-schedulable on opts.Processors with 50% headroom.
+// Networks from the same seed are identical.
+func Scale(rng *rand.Rand, opts ScaleOptions) *core.Network {
+	opts = opts.withDefaults()
+	n := core.NewNetwork(fmt.Sprintf("scale-%d", opts.TargetJobs))
+
+	hyper := harmonicPeriods[len(harmonicPeriods)-1]
+	type spec struct {
+		name     string
+		periodMs int64
+	}
+	layers := make([][]spec, opts.Depth)
+	jobs, i := 0, 0
+	for jobs < opts.TargetJobs {
+		periodMs := harmonicPeriods[rng.Intn(len(harmonicPeriods))]
+		layer := i % opts.Depth
+		layers[layer] = append(layers[layer], spec{fmt.Sprintf("n%d_%d", layer, i), periodMs})
+		jobs += int(hyper / periodMs)
+		i++
+	}
+
+	// Uniform utilization: every process gets u = Processors/(2·count), so
+	// the total is exactly half the platform capacity regardless of the
+	// period mix. WCETs stay exact rationals; the common denominator is
+	// bounded by 2000·count, far below the int64 tick-lowering overflow
+	// cutoff even at the 100k tier.
+	den := 2 * int64(i) * 1000
+	for _, layer := range layers {
+		for _, s := range layer {
+			wcet := rational.New(s.periodMs*int64(opts.Processors), den)
+			n.AddPeriodic(s.name, rational.Milli(s.periodMs), rational.Milli(s.periodMs),
+				wcet, &mixer{name: s.name})
+		}
+	}
+
+	// One input channel per non-source process, from a random process of
+	// the previous layer, with writer-over-reader functional priority.
+	for l := 1; l < opts.Depth; l++ {
+		for _, s := range layers[l] {
+			w := layers[l-1][rng.Intn(len(layers[l-1]))]
+			ch := fmt.Sprintf("c_%s_%s", w.name, s.name)
+			if w.periodMs == s.periodMs {
+				n.Connect(w.name, s.name, ch, core.FIFO)
+			} else {
+				n.ConnectInit(w.name, s.name, ch, 0)
+			}
+			n.Priority(w.name, s.name)
+		}
+	}
+
+	// Minimal external I/O: one observable source and one observable sink
+	// keep report assembly out of the per-job measurement.
+	n.Input(layers[0][0].name, "IN")
+	last := layers[opts.Depth-1]
+	n.Output(last[len(last)-1].name, "OUT")
+	return n
+}
+
 // RandomEvents generates a sporadic event schedule over [0, horizon)
 // honouring every generator's (m, T) constraint and keeping all handling
 // windows inside the horizon.

@@ -53,6 +53,37 @@ func TestRandomEventsRespectConstraints(t *testing.T) {
 	}
 }
 
+func TestScaleHitsJobTarget(t *testing.T) {
+	t.Parallel()
+	for _, target := range []int{1000, 10000} {
+		rng := rand.New(rand.NewSource(42))
+		net := Scale(rng, ScaleOptions{TargetJobs: target})
+		if err := net.ValidateSchedulable(); err != nil {
+			t.Fatalf("target %d: generated network invalid: %v", target, err)
+		}
+		// Jobs per hyperperiod, summed directly from the harmonic periods:
+		// the generator overshoots by at most one process's job count.
+		jobs := int64(0)
+		hyper := harmonicPeriods[len(harmonicPeriods)-1]
+		for _, p := range net.Processes() {
+			jobs += hyper * p.Period().Den() / (p.Period().Num() * 1000)
+		}
+		if jobs < int64(target) || jobs > int64(target)+hyper/harmonicPeriods[0] {
+			t.Fatalf("target %d: %d jobs/hyperperiod", target, jobs)
+		}
+	}
+}
+
+func TestScaleIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
+	a := Scale(rand.New(rand.NewSource(9)), ScaleOptions{TargetJobs: 2000})
+	b := Scale(rand.New(rand.NewSource(9)), ScaleOptions{TargetJobs: 2000})
+	if a.Name != b.Name || len(a.Processes()) != len(b.Processes()) ||
+		len(a.Channels()) != len(b.Channels()) {
+		t.Error("same seed produced different networks")
+	}
+}
+
 func TestMixerBehaviourRuns(t *testing.T) {
 	t.Parallel()
 	rng := rand.New(rand.NewSource(11))

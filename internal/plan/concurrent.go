@@ -172,12 +172,12 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 	if exec == nil {
 		exec = platform.WCETExec()
 	}
-	flat, err := p.inv.plan(cfg.Frames, cfg.SporadicEvents)
+	flat, err := p.inv.planInto(&rs.scratch, cfg.Frames, cfg.SporadicEvents)
 	if err != nil {
 		return nil, err
 	}
 	fifoCap, outCap := rs.capacities(cfg.Frames)
-	machine, err := core.NewMachineCompiled(p.cn, core.MachineOptions{
+	machine, err := rs.acquireMachine(core.MachineOptions{
 		Inputs:         cfg.Inputs,
 		FIFOCapacity:   fifoCap,
 		OutputCapacity: outCap,
@@ -256,7 +256,7 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 						return
 					}
 					res.entries = append(res.entries, sched.GanttEntry{
-						Proc: proc, Label: j.Name(), Start: start, End: end,
+						Proc: proc, Label: p.jobName[i], Start: start, End: end,
 					})
 					if deadline := base.Add(j.Deadline); deadline.Less(end) {
 						res.misses = append(res.misses, Miss{Job: j, Frame: f, Finish: end, Deadline: deadline})
@@ -271,7 +271,11 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 		return nil, clock.err
 	}
 
-	report := &Report{Schedule: p.S, Frames: cfg.Frames}
+	report := &rs.report
+	*report = Report{Schedule: p.S, Frames: cfg.Frames}
+	report.Entries = rs.entries[:0]
+	report.Misses = rs.misses[:0]
+	report.Skipped = rs.skipped[:0]
 	for _, res := range results {
 		report.Entries = append(report.Entries, res.entries...)
 		report.Misses = append(report.Misses, res.misses...)
@@ -311,7 +315,23 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 			report.MaxLateness = late
 		}
 	}
+	// Keep the grown arenas, then match the historical surface of this
+	// entry point: every report slice here is append-built, so empty ones
+	// are nil.
+	rs.entries = report.Entries
+	rs.misses = report.Misses
+	rs.skipped = report.Skipped
+	if len(report.Entries) == 0 {
+		report.Entries = nil
+	}
+	if len(report.Misses) == 0 {
+		report.Misses = nil
+	}
+	if len(report.Skipped) == 0 {
+		report.Skipped = nil
+	}
 	report.Outputs = machine.Outputs()
-	report.Channels = machine.ChannelSnapshot()
+	rs.snapMap, rs.snapVals = machine.ChannelSnapshotInto(rs.snapMap, rs.snapVals)
+	report.Channels = rs.snapMap
 	return report, nil
 }

@@ -20,6 +20,7 @@ package plan
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -225,17 +226,50 @@ type plannedEvent struct {
 	index int
 }
 
-// plan distributes the run's sporadic events to server subsets per the
+// planScratch holds the arenas of the invocation planner. A RunState keeps
+// one across runs, so steady-state replay fills the same flat plan and event
+// spans instead of reallocating them; PlanInvocations passes a fresh one.
+type planScratch struct {
+	flat   []JobPlan
+	sorted []Time // event sort buffer, one process at a time
+	// Per sporadic process (indexed like invTables.sporadics): the run's
+	// planned events in time order alongside the boundary index q each was
+	// assigned to. q is nondecreasing in event time, so evq is sorted and
+	// the events of boundary q form the contiguous span found by a binary
+	// search — the flat-slice replacement of the old map[q][]plannedEvent.
+	evs [][]plannedEvent
+	evq [][]int64
+}
+
+// searchInt64 returns the smallest index i with a[i] >= q, or len(a).
+func searchInt64(a []int64, q int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// planInto distributes the run's sporadic events to server subsets per the
 // boundary rules of Fig. 2 and materializes the invocation outcome of every
 // (frame, job) instance as one flat slice indexed [frame*n + job index].
-func (it *invTables) plan(frames int, events map[string][]Time) ([]JobPlan, error) {
+// All storage comes from sc; the returned slice aliases sc.flat and is
+// valid until the next planInto call with the same scratch.
+func (it *invTables) planInto(sc *planScratch, frames int, events map[string][]Time) ([]JobPlan, error) {
 	horizon := it.h.MulInt(int64(frames))
 
-	// assigned[si][q] = events whose window ends at boundary q·T' of
-	// sporadic process si, in time order.
-	var assigned []map[int64][]plannedEvent
-	if len(events) > 0 {
-		assigned = make([]map[int64][]plannedEvent, len(it.sporadics))
+	if len(sc.evs) != len(it.sporadics) {
+		sc.evs = make([][]plannedEvent, len(it.sporadics))
+		sc.evq = make([][]int64, len(it.sporadics))
+	}
+	for si := range sc.evs {
+		sc.evs[si] = sc.evs[si][:0]
+		sc.evq[si] = sc.evq[si][:0]
 	}
 	// An event whose window ends beyond the run is lost, which the caller
 	// almost certainly did not intend. The legacy planner reports it only
@@ -255,14 +289,11 @@ func (it *invTables) plan(frames int, events map[string][]Time) ([]JobPlan, erro
 			return nil, fmt.Errorf("rt: process %q has no server period in the task graph", proc)
 		}
 		st := &it.sporadics[si]
-		sorted := make([]Time, len(times))
-		copy(sorted, times)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		sorted := append(sc.sorted[:0], times...)
+		sc.sorted = sorted
+		slices.SortFunc(sorted, Time.Cmp)
 		if err := p.Gen.CheckSporadic(sorted); err != nil {
 			return nil, fmt.Errorf("rt: process %q: %w", proc, err)
-		}
-		if assigned[si] == nil {
-			assigned[si] = make(map[int64][]plannedEvent)
 		}
 		for idx, tau := range sorted {
 			if !tau.Less(horizon) {
@@ -283,7 +314,8 @@ func (it *invTables) plan(frames int, events map[string][]Time) ([]JobPlan, erro
 				}
 				continue
 			}
-			assigned[si][q] = append(assigned[si][q], plannedEvent{time: tau, index: idx + 1})
+			sc.evs[si] = append(sc.evs[si], plannedEvent{time: tau, index: idx + 1})
+			sc.evq[si] = append(sc.evq[si], q)
 		}
 	}
 	if lateErr != nil {
@@ -291,7 +323,11 @@ func (it *invTables) plan(frames int, events map[string][]Time) ([]JobPlan, erro
 	}
 
 	n := it.n
-	flat := make([]JobPlan, frames*n)
+	if cap(sc.flat) < frames*n {
+		sc.flat = make([]JobPlan, frames*n)
+	}
+	flat := sc.flat[:frames*n]
+	sc.flat = flat
 	for f := 0; f < frames; f++ {
 		base := it.h.MulInt(int64(f))
 		invs := flat[f*n : (f+1)*n]
@@ -304,12 +340,11 @@ func (it *invTables) plan(frames int, events map[string][]Time) ([]JobPlan, erro
 			}
 			st := &it.sporadics[si]
 			q := int64(f)*st.nPerFrame + int64(it.subset[i]-1)
-			var ws []plannedEvent
-			if assigned != nil && assigned[si] != nil {
-				ws = assigned[si][q]
-			}
-			if it.slot[i] <= len(ws) {
-				ev := ws[it.slot[i]-1]
+			// Boundary q's events are the contiguous evq span equal to q.
+			evq := sc.evq[si]
+			cand := searchInt64(evq, q) + it.slot[i] - 1
+			if cand < len(evq) && evq[cand] == q {
+				ev := sc.evs[si][cand]
 				invs[i] = JobPlan{Ready: ev.time, EventIndex: ev.index}
 			} else {
 				invs[i] = JobPlan{Ready: abs, Skip: true}
@@ -328,7 +363,7 @@ func PlanInvocations(tg *taskgraph.TaskGraph, frames int, events map[string][]Ti
 	if err != nil {
 		return nil, err
 	}
-	flat, err := it.plan(frames, events)
+	flat, err := it.planInto(&planScratch{}, frames, events)
 	if err != nil {
 		return nil, err
 	}
@@ -366,6 +401,9 @@ type Plan struct {
 	jobProc []int
 	// jobPid[i] is the compiled pid of job i's process.
 	jobPid []int
+	// jobName[i] is Jobs[i].Name() precomputed: Gantt entries label every
+	// executed interval, and Job.Name formats a fresh string per call.
+	jobName []string
 	// relPids[pid] lists the pids FP'-related to pid (including itself),
 	// for the pipelined cross-frame precedence rule.
 	relPids [][]int
@@ -424,6 +462,7 @@ func CompileOpts(s *sched.Schedule, opts CompileOptions) (*Plan, error) {
 		procChainPrev: make([]int, n),
 		jobProc:       make([]int, n),
 		jobPid:        make([]int, n),
+		jobName:       make([]string, n),
 	}
 	for i := range p.procChainPrev {
 		p.procChainPrev[i] = -1
@@ -435,6 +474,7 @@ func CompileOpts(s *sched.Schedule, opts CompileOptions) (*Plan, error) {
 	}
 	for i, j := range tg.Jobs {
 		p.jobProc[i] = s.Assign[i].Proc
+		p.jobName[i] = j.Name()
 		pid := cn.ProcID(j.Proc)
 		if pid < 0 {
 			return nil, fmt.Errorf("rt: job %s refers to unknown process %q", j.Name(), j.Proc)

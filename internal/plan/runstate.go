@@ -1,14 +1,23 @@
 package plan
 
-import "repro/internal/staticflow"
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/staticflow"
+)
 
 // RunState is the per-run mutable execution context of a compiled plan.
 // A Plan is immutable after Compile and safe to share between goroutines;
-// everything a run mutates — today the frame-keyed capacity hints, and in
-// the future any per-request scratch the fppnd daemon needs — lives here.
-// A RunState is NOT safe for concurrent use: give each goroutine its own
-// (NewRunState is cheap; the capacity maps are rebuilt lazily per frame
-// count and shared across consecutive runs of the same RunState).
+// everything a run mutates lives here: the frame-keyed capacity hints, the
+// pooled data machine, and the arenas the planner and report writer fill.
+// A RunState is NOT safe for concurrent use: give each goroutine its own.
+//
+// Reusing one RunState across runs is the steady-state replay path: after
+// the first run warms the arenas, subsequent runs of the same shape execute
+// without allocating. The price of pooling is aliasing — the *Report (and
+// the plan slices from planInto) returned by a run on this state is valid
+// only until the next Run/RunConcurrent call on the same state; callers
+// that need to keep a report across runs must deep-copy it first.
 type RunState struct {
 	p *Plan
 
@@ -18,6 +27,31 @@ type RunState struct {
 	capFrames int
 	capFIFO   map[string]int
 	capOut    map[string]int
+
+	// machine is the pooled data machine: built on the first run,
+	// Reset (not reconstructed) on every following one.
+	machine *core.Machine
+	// scratch holds the invocation planner's arenas (flat plan, event
+	// spans, sort buffer).
+	scratch planScratch
+
+	// Report arenas: the report itself plus every slice it carries, grown
+	// once and refilled per run.
+	report  Report
+	entries []sched.GanttEntry
+	misses  []Miss
+	skipped []Skip
+
+	// Timing scratch of Run: per-job finish times, per-processor
+	// carry-over, per-process previous-frame finish (pipelined mode).
+	finish           []Time
+	lastFinishOnProc []Time
+	prevProcFinish   []Time
+
+	// Channel snapshot pool: the map and the one backing array its value
+	// slices are carved from.
+	snapMap  map[string][]core.Value
+	snapVals []core.Value
 }
 
 // NewRunState returns a fresh execution context for the plan. Repeated-
@@ -31,6 +65,14 @@ func (p *Plan) NewRunState() *RunState {
 
 // Plan returns the immutable compiled plan this state executes.
 func (rs *RunState) Plan() *Plan { return rs.p }
+
+// Reset drops every pooled buffer, returning the state to its NewRunState
+// condition: the next run starts cold and reallocates its arenas. Use it to
+// release the memory of an oversized past run; steady-state callers never
+// need it (Run re-initializes the pools itself).
+func (rs *RunState) Reset() {
+	*rs = RunState{p: rs.p, capFrames: -1}
+}
 
 // capacities returns the FIFO ring and external-output capacity hints for
 // a run of the given frame count, rebuilding the cached maps when the
@@ -46,6 +88,23 @@ func (rs *RunState) capacities(frames int) (fifo, output map[string]int) {
 		rs.capFrames = frames
 	}
 	return rs.capFIFO, rs.capOut
+}
+
+// acquireMachine returns the pooled machine reset for a new run, building
+// it on first use.
+func (rs *RunState) acquireMachine(opts core.MachineOptions) (*core.Machine, error) {
+	if rs.machine == nil {
+		m, err := core.NewMachineCompiled(rs.p.cn, opts)
+		if err != nil {
+			return nil, err
+		}
+		rs.machine = m
+		return m, nil
+	}
+	if err := rs.machine.Reset(opts); err != nil {
+		return nil, err
+	}
+	return rs.machine, nil
 }
 
 // Run executes the plan in a fresh per-call RunState. The plan itself is

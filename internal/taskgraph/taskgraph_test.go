@@ -423,13 +423,13 @@ func TestDefaultDeriveWorkersHeuristic(t *testing.T) {
 		jobs, limit, want int
 	}{
 		{0, 8, 1},
-		{10, 8, 1},             // Fig. 3 scale: stay sequential
-		{255, 8, 1},            // below the knee
-		{derivationJobsPerWorker, 8, 1},
-		{812, 8, 3},            // FMS frame: 3 workers, not GOMAXPROCS
-		{812, 2, 2},            // capped by the resolved limit
-		{10_000, 8, 8},
-		{10_000, 1, 1},
+		{10, 8, 1},                          // Fig. 3 scale: stay sequential
+		{812, 8, 1},                         // FMS frame: sequential on the tick path
+		{derivationJobsPerWorker - 1, 8, 1}, // below the knee
+		{2 * derivationJobsPerWorker, 8, 2},
+		{10_000, 8, 2},  // scale tier: fan out
+		{10_000, 1, 1},  // capped by the resolved limit
+		{100_000, 8, 8}, // capped by GOMAXPROCS
 	}
 	for _, tc := range tests {
 		if got := defaultDeriveWorkers(tc.jobs, tc.limit); got != tc.want {

@@ -1,0 +1,437 @@
+package taskgraph
+
+// Tick-lowered derivation core. The paper's step-2 invocation simulation is
+// arithmetic over rational time stamps: generate every invocation instant
+// t = c·T'_p over [0, H), sort by (t, FP' rank) and read the job tuples
+// (A_i, D_i, C_i) off the ordered sequence. The rational path
+// (simulateFrameRational) performs that with exact Rat values — correct,
+// but every Add/Cmp normalizes through gcds and the sort compares
+// rationals, which BENCH_fppn.json showed was the compile-pipeline
+// bottleneck once scheduling moved to the event engine.
+//
+// This file lowers the simulation onto the same rational.CommonScale int64
+// timescale the event-driven scheduler uses: one Scale covers every
+// (substituted) period, deadline, the hyperperiod and the deadline slack,
+// so each invocation instant and deadline is an exact int64 tick count and
+// the <_J sort compares two ints. Lowered values are converted back
+// through Scale.FromTicks, which reduces to lowest terms, so the resulting
+// jobs are byte-identical to the rational path's — the differential suite
+// and FuzzDeriveTickMatchesRational pin that. When the common denominator
+// or any tick magnitude overflows the 2^40 guard (same constant as
+// internal/sched), or a frame exceeds 2^20 jobs, derivation falls back to
+// the rational path, which is therefore kept verbatim as the oracle.
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rational"
+)
+
+// maxSafeTick mirrors internal/sched: per-value tick magnitudes below 2^40
+// keep every intermediate sum (at most one period + deadline per value) far
+// from int64 overflow.
+const maxSafeTick = int64(1) << 40
+
+// maxTickJobs bounds the frame size the tick path accepts; beyond it the
+// rational oracle runs (and the caller has bigger problems than gcd churn).
+const maxTickJobs = 1 << 20
+
+// rankBits packs an invocation's FP' rank into the low bits of its sort
+// key: key = t<<rankBits | rank. Ranks are a permutation of the processes
+// and the frame has at most maxTickJobs = 2^20 jobs (hence processes), so
+// 20 bits always hold the rank; t is guarded to 2^40, so the packed key
+// stays within int64 and sorting the keys IS the (t, rank) lexicographic
+// sort — over plain int64s, which slices.Sort handles without the
+// reflection swapper of sort.Slice.
+const rankBits = 20
+
+// simulateFrameTicks is simulateFrameRational on the int64 tick timescale.
+// ok == false reports that the lowering overflowed and the caller must run
+// the rational oracle instead. jobPid records each job's process index
+// (position in net.Processes()) for the edge pipeline.
+func simulateFrameTicks(net *core.Network, h, truncateAt Time, substitute, serverPeriod map[string]Time,
+	rank map[string]int, workers int) (jobs []*Job, index map[string]map[int64]int, jobPid []int32, ok bool) {
+
+	procs := net.Processes()
+	np := len(procs)
+
+	// One scale for every value the simulation touches. Periods and
+	// deadlines are per process; h and truncateAt close the set, so every
+	// computed instant (c·T', t+D, t+D−T') is an exact tick count.
+	vals := make([]rational.Rat, 0, 2*np+2)
+	for _, p := range procs {
+		period := p.Period()
+		if s, found := substitute[p.Name]; found {
+			period = s
+		}
+		vals = append(vals, period, p.Deadline())
+	}
+	vals = append(vals, h, truncateAt)
+	sc, scOK := rational.CommonScale(vals)
+	if !scOK {
+		return nil, nil, nil, false
+	}
+	hT, okH := sc.Ticks(h)
+	truncT, okTr := sc.Ticks(truncateAt)
+	if !okH || !okTr || hT > maxSafeTick || absTick64(truncT) > maxSafeTick {
+		return nil, nil, nil, false
+	}
+
+	// Per-process lowering plus the exact invocation count: H is a common
+	// multiple of every substituted period, so count = H/T' divides evenly.
+	periodT := make([]int64, np)
+	deadT := make([]int64, np)
+	serverT := make([]int64, np) // T'_p ticks, or -1 for ordinary processes
+	rankOf := make([]int32, np)
+	off := make([]int, np+1) // invocation-slice offsets per process
+	total := 0
+	for pi, p := range procs {
+		period := p.Period()
+		if s, found := substitute[p.Name]; found {
+			period = s
+		}
+		pT, okP := sc.Ticks(period)
+		dT, okD := sc.Ticks(p.Deadline())
+		if !okP || !okD || pT <= 0 || pT > maxSafeTick || absTick64(dT) > maxSafeTick {
+			return nil, nil, nil, false
+		}
+		periodT[pi], deadT[pi] = pT, dT
+		serverT[pi] = -1
+		if tp, isServer := serverPeriod[p.Name]; isServer {
+			tpT, okTp := sc.Ticks(tp)
+			if !okTp || absTick64(tpT) > maxSafeTick {
+				return nil, nil, nil, false
+			}
+			serverT[pi] = tpT
+		}
+		rankOf[pi] = int32(rank[p.Name])
+		off[pi] = total
+		total += int(hT/pT) * p.Burst()
+	}
+	off[np] = total
+	if total > maxTickJobs {
+		return nil, nil, nil, false
+	}
+
+	// Generate each process's stream of packed (t, rank) keys into its own
+	// pre-offset region — independent regions, so the fan-out needs no
+	// collection pass and the result is identical for every worker count.
+	// Ranks are a permutation of the processes, so the key's rank field
+	// recovers the process after the sort.
+	pidOfRank := make([]int32, np)
+	for pi := range rankOf {
+		pidOfRank[rankOf[pi]] = int32(pi)
+	}
+	keys := make([]int64, total)
+	parallel.ForEachChunk(nil, np, workers, func(lo, hi int) error {
+		for pi := lo; pi < hi; pi++ {
+			burst := procs[pi].Burst()
+			base := int64(rankOf[pi])
+			w := off[pi]
+			for t := int64(0); t < hT; t += periodT[pi] {
+				key := t<<rankBits | base
+				for b := 0; b < burst; b++ {
+					keys[w] = key
+					w++
+				}
+			}
+		}
+		return nil
+	})
+
+	// <_J order: (t, FP' rank), i.e. ascending packed key. Ties are
+	// invocations of one process at one instant — identical keys, for
+	// which an unstable sort is indistinguishable from the reference's
+	// stable (t, rank, name) sort.
+	slices.Sort(keys)
+
+	// Materialize the job tuples. One backing array for the nodes keeps
+	// the per-job cost at field writes; FromTicks reduces to lowest terms,
+	// so every Time equals the rational path's value exactly.
+	jobsArr := make([]Job, total)
+	jobs = make([]*Job, total)
+	jobPid = make([]int32, total)
+	counts := make([]int64, np)
+	index = make(map[string]map[int64]int, np)
+	idxOf := make([]map[int64]int, np)
+	for pi, p := range procs {
+		if n := off[pi+1] - off[pi]; n > 0 {
+			idxOf[pi] = make(map[int64]int, n)
+			index[p.Name] = idxOf[pi]
+		}
+	}
+	for i, key := range keys {
+		t := key >> rankBits
+		pi := pidOfRank[key&(1<<rankBits-1)]
+		p := procs[pi]
+		counts[pi]++
+		k := counts[pi]
+		j := &jobsArr[i]
+		j.Index = i
+		j.Proc = p.Name
+		j.K = k
+		j.Arrival = sc.FromTicks(t)
+		j.WCET = p.WCET
+		dl := t + deadT[pi]
+		if serverT[pi] >= 0 {
+			j.Server = true
+			dl -= serverT[pi]
+			m := int64(p.Burst())
+			j.Subset = int((k-1)/m) + 1
+			j.SlotInSubset = int((k-1)%m) + 1
+		}
+		if dl > truncT {
+			dl = truncT // step 4: truncate to the frame (+ slack)
+		}
+		j.Deadline = sc.FromTicks(dl)
+		jobs[i] = j
+		jobPid[i] = pi
+		idxOf[pi][k] = i
+	}
+	return jobs, index, jobPid, true
+}
+
+func absTick64(t int64) int64 {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// edgeCtx interns the process-level structure the edge pipeline needs:
+// every per-job decision (next job of a related process, chain membership
+// in the reduction) becomes integer indexing instead of string-map lookups.
+type edgeCtx struct {
+	np     int
+	jobPid []int32   // job index -> process index
+	byProc [][]int32 // process index -> its job indices, ascending
+	relPid [][]int32 // process index -> FP'-related process indices, sorted
+}
+
+// newEdgeCtx builds the interned structure. jobPid may be nil (rational
+// fallback path); it is then recovered from the job names.
+func newEdgeCtx(net *core.Network, jobs []*Job, related map[string]map[string]bool, jobPid []int32) *edgeCtx {
+	procs := net.Processes()
+	np := len(procs)
+	procIdx := make(map[string]int32, np)
+	for pi, p := range procs {
+		procIdx[p.Name] = int32(pi)
+	}
+	ec := &edgeCtx{np: np}
+	if jobPid == nil {
+		jobPid = make([]int32, len(jobs))
+		for i, j := range jobs {
+			jobPid[i] = procIdx[j.Proc]
+		}
+	}
+	ec.jobPid = jobPid
+	counts := make([]int32, np)
+	for _, pi := range jobPid {
+		counts[pi]++
+	}
+	ec.byProc = make([][]int32, np)
+	backing := make([]int32, len(jobs))
+	for pi := 0; pi < np; pi++ {
+		ec.byProc[pi] = backing[:0:counts[pi]]
+		backing = backing[counts[pi]:]
+	}
+	for i := range jobs {
+		pi := ec.jobPid[i]
+		ec.byProc[pi] = append(ec.byProc[pi], int32(i))
+	}
+	ec.relPid = make([][]int32, np)
+	for pi, p := range procs {
+		for q := range related[p.Name] {
+			if qi, found := procIdx[q]; found {
+				ec.relPid[pi] = append(ec.relPid[pi], qi)
+			}
+		}
+		sort.Slice(ec.relPid[pi], func(a, b int) bool { return ec.relPid[pi][a] < ec.relPid[pi][b] })
+	}
+	return ec
+}
+
+// nextAfter32 returns the smallest element of sorted that is > i, or -1.
+func nextAfter32(sorted []int32, i int) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(sorted[mid]) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(sorted) {
+		return -1
+	}
+	return int(sorted[lo])
+}
+
+// candidateEdges produces, for every job, an edge to the next job (in <_J)
+// of the same process and to the next job of every related process. The
+// transitive closure of this set equals the full precedence relation of the
+// paper's step 3, because later jobs of the same target process are reached
+// through that process's own chain. Successor lists are carved from one
+// arena sized by the exact per-job degree bound (1 + |related|), so the
+// generation allocates O(1) slices regardless of job count. Each worker
+// owns an index chunk and sweeps it descending, maintaining nextOf[q] =
+// smallest job index of process q strictly above the sweep position —
+// seeded per chunk by one binary search per process, then O(1) per job.
+func candidateEdges(ec *edgeCtx, n, workers int) [][]int {
+	off := make([]int, n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		off[i] = total
+		total += 1 + len(ec.relPid[ec.jobPid[i]])
+	}
+	off[n] = total
+	arena := make([]int, total)
+	succ := make([][]int, n)
+	parallel.ForEachChunk(nil, n, workers, func(lo, hi int) error {
+		nextOf := make([]int32, ec.np)
+		for pi := 0; pi < ec.np; pi++ {
+			nextOf[pi] = int32(nextAfter32(ec.byProc[pi], hi-1))
+		}
+		for i := hi - 1; i >= lo; i-- {
+			pi := ec.jobPid[i]
+			out := arena[off[i]:off[i]:off[i+1]]
+			// Next job of the same process.
+			if nx := nextOf[pi]; nx >= 0 {
+				out = append(out, int(nx))
+			}
+			for _, qi := range ec.relPid[pi] {
+				if nx := nextOf[qi]; nx >= 0 {
+					out = append(out, int(nx))
+				}
+			}
+			sort.Ints(out)
+			succ[i] = dedupInts(out)
+			nextOf[pi] = int32(i)
+		}
+		return nil
+	})
+	return succ
+}
+
+// chainReductionMinJobs switches the transitive reduction to the
+// chain-decomposition algorithm: the bitset sweep stores n·n/8 bytes of
+// descendant sets, which at 10^5 jobs would be gigabytes, while the chain
+// form stores n·P int32s (P = process count). Below the threshold the
+// bitset sweep stays — it is faster for small frames and its descendant
+// sets double as the O(1) HasPath index.
+const chainReductionMinJobs = 8192
+
+// transitiveReductionChains removes redundant edges using the process-chain
+// structure of the derivation instead of full descendant bitsets. Every job
+// set partitions into per-process chains along which consecutive jobs are
+// always connected (candidateEdges links each job to its process
+// successor), so reachability into a chain is summarized by the minimum
+// reachable index: minReach[v][c] = smallest job index of chain c strictly
+// reachable from v. An edge (v, u) is redundant exactly when some successor
+// w of v reaches u, i.e. minReach[w][chain(u)] ≤ u — the same criterion the
+// bitset sweep evaluates, so both algorithms keep identical edge sets (the
+// in-package differential test pins this on random graphs).
+func transitiveReductionChains(succ [][]int, ec *edgeCtx) [][]int {
+	n := len(succ)
+	np := ec.np
+	const inf = int32(1 << 30)
+
+	// minReach rows are stored sparsely: row v holds (chain, min index)
+	// pairs sorted by chain id, covering exactly the chains reachable from
+	// v. A dense n×np matrix is gigabytes at the 100k-job scale tier with
+	// its thousands of processes, while the jobs of such networks reach
+	// only a handful of downstream chains each; dense-relation networks
+	// (where sparse degenerates to the same footprint) stay on the bitset
+	// sweep below the job threshold anyway.
+	rowChain := make([][]int32, n)
+	rowMin := make([][]int32, n)
+	// One dense scratch row with a touched list keeps each merge
+	// hash-free and O(sum of successor row sizes).
+	scratch := make([]int32, np)
+	for i := range scratch {
+		scratch[i] = inf
+	}
+	touched := make([]int32, 0, np)
+	lookup := func(w int, chain int32) int32 {
+		cs := rowChain[w]
+		lo, hi := 0, len(cs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cs[mid] < chain {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(cs) && cs[lo] == chain {
+			return rowMin[w][lo]
+		}
+		return inf
+	}
+
+	total := 0
+	for _, s := range succ {
+		total += len(s)
+	}
+	arena := make([]int, 0, total)
+	out := make([][]int, n)
+	chainArena := make([]int32, 0, 4*n)
+	minArena := make([]int32, 0, 4*n)
+	for v := n - 1; v >= 0; v-- {
+		for _, u := range succ[v] {
+			cs, ms := rowChain[u], rowMin[u]
+			for k, c := range cs {
+				if scratch[c] > ms[k] {
+					if scratch[c] == inf {
+						touched = append(touched, c)
+					}
+					scratch[c] = ms[k]
+				}
+			}
+			if uc := ec.jobPid[u]; scratch[uc] > int32(u) {
+				if scratch[uc] == inf {
+					touched = append(touched, uc)
+				}
+				scratch[uc] = int32(u)
+			}
+		}
+		// Keep (v, u) unless some other successor w strictly reaches u:
+		// minReach[w][chain(u)] ≤ u means w reaches a chain(u) job at or
+		// before u, and the chain edges carry it the rest of the way.
+		// (Same-chain w < u is subsumed: w's own chain successor y ≤ u
+		// contributes y to minReach[w][chain(u)].)
+		base := len(arena)
+		for _, u := range succ[v] {
+			redundant := false
+			for _, w := range succ[v] {
+				if w != u && lookup(w, ec.jobPid[u]) <= int32(u) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				arena = append(arena, u)
+			}
+		}
+		out[v] = arena[base:len(arena):len(arena)]
+
+		// Freeze v's row from the scratch and reset the touched cells.
+		// Arena growth may move the backing; earlier rows keep pointing at
+		// the old block, whose values never change again.
+		slices.Sort(touched)
+		cb, mb := len(chainArena), len(minArena)
+		for _, c := range touched {
+			chainArena = append(chainArena, c)
+			minArena = append(minArena, scratch[c])
+			scratch[c] = inf
+		}
+		rowChain[v] = chainArena[cb:len(chainArena):len(chainArena)]
+		rowMin[v] = minArena[mb:len(minArena):len(minArena)]
+		touched = touched[:0]
+	}
+	return out
+}

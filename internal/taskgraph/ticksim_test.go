@@ -1,0 +1,66 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEdgeCtx synthesizes a random chain decomposition: n jobs spread
+// over np chains (processes) with a random related relation — exactly the
+// structural invariant candidateEdges establishes on real derivations.
+func randomEdgeCtx(rng *rand.Rand, n, np int) *edgeCtx {
+	ec := &edgeCtx{np: np}
+	ec.jobPid = make([]int32, n)
+	ec.byProc = make([][]int32, np)
+	for i := 0; i < n; i++ {
+		pi := int32(rng.Intn(np))
+		ec.jobPid[i] = pi
+		ec.byProc[pi] = append(ec.byProc[pi], int32(i))
+	}
+	ec.relPid = make([][]int32, np)
+	for pi := 0; pi < np; pi++ {
+		for qi := 0; qi < np; qi++ {
+			if qi != pi && rng.Intn(3) == 0 {
+				ec.relPid[pi] = append(ec.relPid[pi], int32(qi))
+			}
+		}
+	}
+	return ec
+}
+
+// TestChainReductionMatchesBitset pins the chain-decomposition transitive
+// reduction (the scale-tier path) to the bitset sweep on random candidate
+// graphs: identical kept-edge sets, node for node.
+func TestChainReductionMatchesBitset(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		np := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(150)
+		ec := randomEdgeCtx(rng, n, np)
+		cand := candidateEdges(ec, n, 1)
+		fromChains := transitiveReductionChains(cand, ec)
+		fromBitset, _ := transitiveReduction(cand, 1)
+		if !reflect.DeepEqual(fromChains, fromBitset) {
+			t.Fatalf("trial %d (n=%d, np=%d): chain reduction diverges from bitset sweep\nchains: %v\nbitset: %v",
+				trial, n, np, fromChains, fromBitset)
+		}
+	}
+}
+
+// TestCandidateEdgesSweepMatchesWorkers checks the per-chunk nextOf sweep
+// is worker-count independent (each chunk seeds its own scan position).
+func TestCandidateEdgesSweepMatchesWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		np := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(200)
+		ec := randomEdgeCtx(rng, n, np)
+		ref := candidateEdges(ec, n, 1)
+		for _, w := range []int{2, 3, 8} {
+			if got := candidateEdges(ec, n, w); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("trial %d workers=%d: candidate edges differ from sequential", trial, w)
+			}
+		}
+	}
+}
