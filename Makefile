@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet vet-custom analyze race fuzz bench bench-json bench-compare experiments golden-update lint-golden-update
+.PHONY: all build test vet vet-custom analyze race fuzz bench bench-json bench-serve bench-compare experiments serve smoke golden-update lint-golden-update
 
 all: build vet vet-custom analyze test
 
@@ -61,6 +61,32 @@ bench-json:
 # slower than BENCH_fppn.json (tune with -threshold).
 bench-compare:
 	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_fppn.json
+
+# Refresh only the serving-tier benchmarks (BenchmarkServe*, the direct
+# baseline and the digest cost) inside the committed record, leaving the
+# rest of BENCH_fppn.json untouched.
+bench-serve:
+	$(GO) test -bench 'Serve|DirectFMSRunBaseline|ModelDigest' -benchmem -run '^$$' ./internal/serve | \
+		$(GO) run ./cmd/benchjson -merge BENCH_fppn.json -o BENCH_fppn.json
+
+# Run the fppnd daemon in the foreground on the default port.
+serve:
+	$(GO) run ./cmd/fppnd
+
+# End-to-end daemon smoke: start fppnd on a scratch port, wait for
+# /healthz, compile + simulate every mix model, check /metrics, then
+# SIGTERM and require a clean graceful drain. CI's daemon-smoke job runs
+# exactly this.
+smoke:
+	@set -e; \
+	$(GO) build -o /tmp/fppnd ./cmd/fppnd; \
+	$(GO) build -o /tmp/fppnload ./cmd/fppnload; \
+	/tmp/fppnd -addr 127.0.0.1:7337 & pid=$$!; \
+	status=0; \
+	/tmp/fppnload -addr http://127.0.0.1:7337 -wait 10s -smoke -mix fms,signal,fft || status=$$?; \
+	kill -TERM $$pid; \
+	wait $$pid || status=$$?; \
+	exit $$status
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -8,6 +8,16 @@
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson [-o BENCH_fppn.json]
 //	go test -bench . -run '^$' ./... | benchjson -compare BENCH_fppn.json [-threshold 25]
+//	go test -bench ServeSimulate -run '^$' ./internal/serve | benchjson -merge BENCH_fppn.json -o BENCH_fppn.json
+//
+// With -merge, the named JSON document is loaded first and the fresh
+// results are overlaid onto it, so a targeted rerun (one package, one
+// benchmark filter) updates its entries without discarding the rest of
+// the record; the "_meta" provenance is refreshed to the merging run.
+//
+// Custom units reported via testing.B.ReportMetric (e.g. "req/s",
+// "p99-ns") are captured under the per-benchmark "extra" key instead of
+// being dropped.
 //
 // Lines that are not benchmark results (package headers, PASS/ok trailers)
 // are ignored. The GOMAXPROCS suffix (-8 in BenchmarkFoo-8) is stripped so
@@ -49,6 +59,9 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+	// Extra holds custom units emitted via testing.B.ReportMetric, e.g.
+	// the serving tier's "req/s" and "p99-ns".
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Meta records the provenance of a benchmark document under the reserved
@@ -98,7 +111,7 @@ func parseLine(line string) (name string, r Result, ok bool) {
 		if err != nil {
 			return "", Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
@@ -107,6 +120,11 @@ func parseLine(line string) (name string, r Result, ok bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return name, r, true
@@ -157,9 +175,35 @@ func compareResults(w io.Writer, baseline, fresh map[string]Result, threshold fl
 	return regressions
 }
 
+// loadResults reads a previously written benchmark document, skipping the
+// "_"-prefixed metadata keys.
+func loadResults(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rawDoc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rawDoc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	doc := make(map[string]Result, len(rawDoc))
+	for n, msg := range rawDoc {
+		if strings.HasPrefix(n, "_") {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(msg, &r); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", path, n, err)
+		}
+		doc[n] = r
+	}
+	return doc, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON to diff against; regressions beyond -threshold fail the run")
+	merge := flag.String("merge", "", "existing JSON document to overlay the fresh results onto before writing")
 	threshold := flag.Float64("threshold", 25, "allowed ns/op regression over the -compare baseline, in percent")
 	flag.Parse()
 
@@ -178,6 +222,18 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	fresh := len(results)
+	if *merge != "" {
+		base, err := loadResults(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for n, r := range results {
+			base[n] = r
+		}
+		results = base
 	}
 
 	// Marshal with sorted keys (encoding/json sorts map keys, but build the
@@ -208,32 +264,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(names))
+	if *merge != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%d fresh, merged over %s)\n", len(names), fresh, *merge)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(names))
+	}
 
 	if *compare != "" {
-		raw, err := os.ReadFile(*compare)
+		baseline, err := loadResults(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
-		}
-		// Decode loosely first: "_"-prefixed keys carry metadata, not
-		// benchmark results, and are excluded from the diff.
-		var rawDoc map[string]json.RawMessage
-		if err := json.Unmarshal(raw, &rawDoc); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
-			os.Exit(1)
-		}
-		baseline := make(map[string]Result, len(rawDoc))
-		for n, msg := range rawDoc {
-			if strings.HasPrefix(n, "_") {
-				continue
-			}
-			var r Result
-			if err := json.Unmarshal(msg, &r); err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %s: %s: %v\n", *compare, n, err)
-				os.Exit(1)
-			}
-			baseline[n] = r
 		}
 		if n := compareResults(os.Stderr, baseline, results, *threshold); n > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% over %s\n",

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,5 +97,56 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		if _, _, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted a non-result line", line)
 		}
+	}
+}
+
+func TestParseLineCapturesExtraUnits(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkServeSimulateFMSParallel-8   2215   122305 ns/op   196608 p99-ns   8176 req/s   9130 B/op   48 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "BenchmarkServeSimulateFMSParallel" {
+		t.Fatalf("name = %q", name)
+	}
+	if r.NsPerOp != 122305 {
+		t.Fatalf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Extra["p99-ns"] != 196608 || r.Extra["req/s"] != 8176 {
+		t.Fatalf("extra units not captured: %v", r.Extra)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 9130 {
+		t.Fatalf("B/op lost next to extra units: %v", r.BytesPerOp)
+	}
+}
+
+func TestLoadResultsRoundTripsExtra(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := `{
+  "_meta": {"gomaxprocs": 8, "go_version": "go1.x"},
+  "BenchmarkOld": {"iterations": 10, "ns_per_op": 5, "bytes_per_op": null, "allocs_per_op": null},
+  "BenchmarkServe": {"iterations": 2, "ns_per_op": 7, "bytes_per_op": null, "allocs_per_op": null, "extra": {"req/s": 8000}}
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d results (metadata not skipped?): %v", len(got), got)
+	}
+	if got["BenchmarkServe"].Extra["req/s"] != 8000 {
+		t.Fatalf("extra lost on load: %+v", got["BenchmarkServe"])
+	}
+
+	// Merge semantics: fresh results overlay the loaded ones.
+	fresh := map[string]Result{"BenchmarkServe": {Iterations: 5, NsPerOp: 6}}
+	for n, r := range fresh {
+		got[n] = r
+	}
+	if got["BenchmarkServe"].NsPerOp != 6 || got["BenchmarkOld"].NsPerOp != 5 {
+		t.Fatalf("merge overlay wrong: %v", got)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fppnc -app signal|fft|fft-overhead|fms|fms-original [-m N] [-vet on|off]
+//	fppnc -app signal|fft|fft-overhead|fms|fms-original|scale:N [-m N] [-vet on|off]
 //	      [-heuristic alap-edf|b-level|deadline-monotonic|edf]
 //	      [-dot taskgraph] [-gantt] [-table]
 //
@@ -20,7 +20,6 @@ import (
 	"os"
 
 	"repro/internal/analysis"
-	"repro/internal/apps"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/export"
@@ -29,21 +28,8 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// portfolioName selects the concurrent portfolio race over all heuristics
-// instead of a single SP order.
-const portfolioName = "portfolio"
-
-func parseHeuristic(name string) (sched.Heuristic, error) {
-	for _, h := range sched.Heuristics {
-		if h.String() == name {
-			return h, nil
-		}
-	}
-	return 0, cli.Usagef("unknown heuristic %q", name)
-}
-
 func main() {
-	app := flag.String("app", "signal", "application: signal, fft, fft-overhead, fms, fms-original")
+	app := flag.String("app", "signal", "model spec: registry app or scale:N")
 	m := flag.Int("m", 2, "number of processors")
 	heuristic := flag.String("heuristic", "alap-edf", "schedule priority: alap-edf, b-level, deadline-monotonic, edf, portfolio (race all, keep best makespan)")
 	workers := flag.Int("workers", 0, "compile-pipeline fan-out: 0 = GOMAXPROCS, 1 = sequential")
@@ -64,13 +50,14 @@ func main() {
 }
 
 func run(app string, m, workers int, heuristic, vet, dot, jsonOut string, gantt, table, buffers, compare bool, width int) error {
-	net, err := apps.Build(app)
+	model, err := cli.LoadModel(app)
 	if err != nil {
-		return cli.Usagef("%v", err)
+		return err
 	}
+	net := model.Net
 	var h sched.Heuristic
-	if heuristic != portfolioName {
-		if h, err = parseHeuristic(heuristic); err != nil {
+	if heuristic != cli.PortfolioName {
+		if h, err = cli.ParseHeuristic(heuristic); err != nil {
 			return err
 		}
 	}
@@ -97,8 +84,8 @@ func run(app string, m, workers int, heuristic, vet, dot, jsonOut string, gantt,
 		fmt.Println(text)
 		return nil
 	}
-	fmt.Printf("application %s: %d processes, %d channels\n",
-		net.Name, len(net.Processes()), len(net.Channels()))
+	fmt.Printf("application %s (digest %s): %d processes, %d channels\n",
+		net.Name, model.Digest[:12], len(net.Processes()), len(net.Channels()))
 	for _, p := range net.Processes() {
 		fmt.Printf("  %v (C=%vs)\n", p, p.WCET)
 	}
@@ -151,7 +138,7 @@ func run(app string, m, workers int, heuristic, vet, dot, jsonOut string, gantt,
 	}
 
 	var s *sched.Schedule
-	if heuristic == portfolioName {
+	if heuristic == cli.PortfolioName {
 		s, err = sched.Portfolio(tg, m, sched.PortfolioOptions{Workers: workers})
 		if err != nil {
 			return err

@@ -7,12 +7,14 @@ import (
 )
 
 func TestParseHeuristic(t *testing.T) {
+	// The parser now lives in internal/cli, shared with fppnsim and the
+	// fppnd daemon; keep a smoke check at the call site.
 	for _, name := range []string{"alap-edf", "b-level", "deadline-monotonic", "edf"} {
-		if _, err := parseHeuristic(name); err != nil {
-			t.Errorf("parseHeuristic(%s): %v", name, err)
+		if _, err := cli.ParseHeuristic(name); err != nil {
+			t.Errorf("ParseHeuristic(%s): %v", name, err)
 		}
 	}
-	if _, err := parseHeuristic("magic"); err == nil {
+	if _, err := cli.ParseHeuristic("magic"); err == nil {
 		t.Error("unknown heuristic accepted")
 	}
 }

@@ -1,0 +1,283 @@
+// Command fppnload is a closed-loop load generator for the fppnd daemon:
+// it drives POST /simulate at full speed from -workers concurrent
+// clients, round-robining a model mix, and reports sustained throughput
+// (req/s) and the p50/p99 request latency measured client-side.
+//
+// Usage:
+//
+//	fppnload [-addr http://127.0.0.1:7337] [-duration 5s] [-workers 8]
+//	         [-mix fms,signal,fft] [-frames 1] [-wait 10s] [-json]
+//	fppnload -smoke [-addr ...] [-wait 10s]
+//
+// -wait polls GET /healthz until the daemon answers (for CI scripts that
+// just started it). -smoke replaces the timed load with one compile +
+// simulate per mix model plus a /metrics consistency check — the CI
+// daemon-smoke job runs exactly that. Exit status: 0 on success, 1 on
+// failures (daemon unreachable, request errors, inconsistent metrics),
+// 2 on invalid usage.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7337", "base URL of the fppnd daemon")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	workers := flag.Int("workers", 8, "concurrent closed-loop clients")
+	mix := flag.String("mix", "fms,signal,fft", "comma-separated model specs to round-robin (e.g. fms,signal,scale:10k)")
+	frames := flag.Int("frames", 1, "frames per /simulate request")
+	wait := flag.Duration("wait", 0, "poll /healthz for up to this long before starting")
+	smoke := flag.Bool("smoke", false, "run the CI smoke sequence instead of a timed load")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	flag.Parse()
+
+	if err := run(*addr, *mix, *frames, *workers, *duration, *wait, *smoke, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "fppnload:", err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
+
+func run(addr, mix string, frames, workers int, duration, wait time.Duration, smoke, jsonOut bool) error {
+	models := splitMix(mix)
+	if len(models) == 0 {
+		return cli.Usagef("empty -mix")
+	}
+	if frames < 1 {
+		return cli.Usagef("frames %d; want >= 1", frames)
+	}
+	if workers < 1 {
+		return cli.Usagef("workers %d; want >= 1", workers)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	if wait > 0 {
+		if err := waitHealthy(client, addr, wait); err != nil {
+			return err
+		}
+	}
+	if smoke {
+		return runSmoke(client, addr, models, frames)
+	}
+	res, err := runLoad(client, addr, models, frames, workers, duration)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func splitMix(mix string) []string {
+	var out []string
+	for _, m := range strings.Split(mix, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// waitHealthy polls GET /healthz until the daemon answers 200 or the
+// timeout expires.
+func waitHealthy(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not healthy after %v: %v", timeout, err)
+			}
+			return fmt.Errorf("daemon not healthy after %v", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// post sends one JSON request and decodes the response into out when the
+// status is 200; other statuses become errors carrying the body.
+func post(client *http.Client, base, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// runSmoke is the CI sequence: compile + simulate each mix model once,
+// then check /metrics accounted for the traffic.
+func runSmoke(client *http.Client, base string, models []string, frames int) error {
+	for _, m := range models {
+		var comp serve.CompileResponse
+		if err := post(client, base, "/compile", map[string]any{"app": m}, &comp); err != nil {
+			return err
+		}
+		var sim serve.SimulateResponse
+		if err := post(client, base, "/simulate", map[string]any{"app": m, "frames": frames}, &sim); err != nil {
+			return err
+		}
+		if sim.Digest != comp.Digest {
+			return fmt.Errorf("smoke %s: compile digest %s != simulate digest %s", m, comp.Digest, sim.Digest)
+		}
+		if !sim.Cached {
+			return fmt.Errorf("smoke %s: simulate after compile missed the cache", m)
+		}
+		if sim.Entries == 0 {
+			return fmt.Errorf("smoke %s: simulate executed no jobs", m)
+		}
+		fmt.Printf("smoke %-10s ok: digest %s, %d jobs, makespan %s\n", m, comp.Digest[:12], comp.Jobs, sim.Makespan)
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	if want := int64(2 * len(models)); stats.Requests < want {
+		return fmt.Errorf("metrics: %d requests recorded, want >= %d", stats.Requests, want)
+	}
+	if stats.Cache.Compiles < int64(len(models)) {
+		return fmt.Errorf("metrics: %d compiles recorded, want >= %d", stats.Cache.Compiles, len(models))
+	}
+	if stats.Cache.Hits < int64(len(models)) {
+		return fmt.Errorf("metrics: %d cache hits recorded, want >= %d", stats.Cache.Hits, len(models))
+	}
+	fmt.Printf("smoke metrics ok: %d requests, %d compiles, %d hits\n",
+		stats.Requests, stats.Cache.Compiles, stats.Cache.Hits)
+	return nil
+}
+
+// Result is the aggregated outcome of one timed load run.
+type Result struct {
+	Mix       []string `json:"mix"`
+	Workers   int      `json:"workers"`
+	Frames    int      `json:"frames"`
+	Duration  float64  `json:"duration_s"`
+	Requests  int      `json:"requests"`
+	Errors    int      `json:"errors"`
+	ReqPerSec float64  `json:"req_per_s"`
+	P50Us     float64  `json:"p50_us"`
+	P99Us     float64  `json:"p99_us"`
+	MaxUs     float64  `json:"max_us"`
+}
+
+// Table renders the result as the human-readable report.
+func (r Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d workers x %.1fs over %s (frames=%d)\n",
+		r.Workers, r.Duration, strings.Join(r.Mix, ","), r.Frames)
+	fmt.Fprintf(&b, "  requests  %d (%d errors)\n", r.Requests, r.Errors)
+	fmt.Fprintf(&b, "  req/s     %.1f\n", r.ReqPerSec)
+	fmt.Fprintf(&b, "  p50       %.1f us\n", r.P50Us)
+	fmt.Fprintf(&b, "  p99       %.1f us\n", r.P99Us)
+	fmt.Fprintf(&b, "  max       %.1f us\n", r.MaxUs)
+	return b.String()
+}
+
+// runLoad drives the closed loop: every worker fires its next request as
+// soon as the previous one returns, cycling through the model mix.
+func runLoad(client *http.Client, base string, models []string, frames, workers int, duration time.Duration) (Result, error) {
+	// Warm the cache first so the measured window is the steady state,
+	// not the one-off compiles (which the daemon singleflights anyway).
+	for _, m := range models {
+		if err := post(client, base, "/simulate", map[string]any{"app": m, "frames": frames}, nil); err != nil {
+			return Result{}, fmt.Errorf("warm-up %s: %w", m, err)
+		}
+	}
+
+	type workerResult struct {
+		latencies []time.Duration
+		errors    int
+	}
+	results := make([]workerResult, workers)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			for i := w; time.Now().Before(deadline); i++ {
+				req := map[string]any{"app": models[i%len(models)], "frames": frames}
+				t0 := time.Now()
+				err := post(client, base, "/simulate", req, nil)
+				res.latencies = append(res.latencies, time.Since(t0))
+				if err != nil {
+					res.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		errs += res.errors
+	}
+	if len(all) == 0 {
+		return Result{}, fmt.Errorf("no requests completed in %v", duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	return Result{
+		Mix:       models,
+		Workers:   workers,
+		Frames:    frames,
+		Duration:  elapsed.Seconds(),
+		Requests:  len(all),
+		Errors:    errs,
+		ReqPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50Us:     quantile(0.50),
+		P99Us:     quantile(0.99),
+		MaxUs:     float64(all[len(all)-1].Nanoseconds()) / 1e3,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon serves the real handler stack over real HTTP sockets, so
+// these tests cover the same path the CI smoke job drives.
+func startDaemon(t *testing.T) (*httptest.Server, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(serve.NewServer(serve.Options{}))
+	t.Cleanup(ts.Close)
+	return ts, ts.Client()
+}
+
+func TestSplitMix(t *testing.T) {
+	got := splitMix(" fms, signal ,,fft ")
+	want := []string{"fms", "signal", "fft"}
+	if len(got) != len(want) {
+		t.Fatalf("splitMix = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitMix = %v, want %v", got, want)
+		}
+	}
+	if out := splitMix(" , "); out != nil {
+		t.Fatalf("splitMix of blanks = %v, want nil", out)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	ts, client := startDaemon(t)
+	if err := waitHealthy(client, ts.URL, 2*time.Second); err != nil {
+		t.Fatalf("healthy daemon reported unhealthy: %v", err)
+	}
+	ts.Close()
+	if err := waitHealthy(client, ts.URL, 200*time.Millisecond); err == nil {
+		t.Fatal("closed daemon reported healthy")
+	}
+}
+
+func TestSmokeSequence(t *testing.T) {
+	ts, client := startDaemon(t)
+	if err := runSmoke(client, ts.URL, []string{"signal", "fft"}, 1); err != nil {
+		t.Fatalf("smoke: %v", err)
+	}
+	// A bad model in the mix fails the smoke.
+	if err := runSmoke(client, ts.URL, []string{"no-such-app"}, 1); err == nil {
+		t.Fatal("smoke accepted an unknown model")
+	}
+}
+
+func TestLoadAgainstLiveServer(t *testing.T) {
+	ts, client := startDaemon(t)
+	res, err := runLoad(client, ts.URL, []string{"signal"}, 1, 4, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if res.Requests == 0 || res.ReqPerSec <= 0 {
+		t.Fatalf("implausible load result: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors under load", res.Errors)
+	}
+	if res.P99Us < res.P50Us {
+		t.Fatalf("p99 %.1f < p50 %.1f", res.P99Us, res.P50Us)
+	}
+	table := res.Table()
+	for _, want := range []string{"req/s", "p50", "p99"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		mix     string
+		frames  int
+		workers int
+	}{
+		{"", 1, 1},
+		{"signal", 0, 1},
+		{"signal", 1, 0},
+	} {
+		if err := run("http://127.0.0.1:1", tc.mix, tc.frames, tc.workers, time.Millisecond, 0, false, false); err == nil {
+			t.Errorf("run(%+v) accepted", tc)
+		}
+	}
+}

@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	fppnsim -app signal|fft|fms [-m N] [-frames F] [-overhead none|mppa]
+//	fppnsim -app signal|fft|fft-overhead|fms|fms-original|scale:N [-m N]
+//	        [-frames F] [-overhead none|mppa]
 //	        [-events "CoefB@0.05,CoefB@0.42"] [-concurrent] [-zerocheck]
+//
+// Model specs are shared with fppnc and the fppnd daemon (internal/cli):
+// registry names plus synthetic "scale:N" networks, each loaded with its
+// canonical content digest.
 //
 // Exit status: 0 on success, 1 on model or runtime errors, 2 on invalid
 // usage.
@@ -20,9 +25,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/apps/fft"
-	"repro/internal/apps/fms"
-	"repro/internal/apps/signal"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -31,34 +33,6 @@ import (
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
 )
-
-type appSpec struct {
-	build  func() *core.Network
-	inputs func(frames int) map[string][]core.Value
-}
-
-var apps = map[string]appSpec{
-	"signal": {
-		build:  signal.New,
-		inputs: func(frames int) map[string][]core.Value { return signal.Inputs(frames) },
-	},
-	"fft": {
-		build: fft.New,
-		inputs: func(frames int) map[string][]core.Value {
-			fs := make([]fft.Frame, frames)
-			for i := range fs {
-				fs[i] = fft.Frame{complex(float64(i+1), 0), 1, -1, complex(0, 1)}
-			}
-			return fft.Inputs(fs)
-		},
-	},
-	"fms": {
-		build: fms.New,
-		inputs: func(frames int) map[string][]core.Value {
-			return fms.Inputs(frames * 50) // 50 SensorInput jobs per 10 s frame
-		},
-	},
-}
 
 // parseEvents parses "proc@seconds,proc@seconds" specs; seconds accept
 // rational or decimal syntax ("0.05", "1/20").
@@ -83,7 +57,7 @@ func parseEvents(spec string) (map[string][]rt.Time, error) {
 }
 
 func main() {
-	app := flag.String("app", "signal", "application: signal, fft, fms")
+	app := flag.String("app", "signal", "model spec: registry app or scale:N")
 	m := flag.Int("m", 2, "number of processors")
 	frames := flag.Int("frames", 5, "hyperperiod frames to execute")
 	overhead := flag.String("overhead", "none", "runtime overhead model: none, mppa")
@@ -101,9 +75,9 @@ func main() {
 }
 
 func run(app string, m, frames, workers int, overheadName, eventSpec string, concurrent, zerocheck bool, width int) error {
-	spec, ok := apps[app]
-	if !ok {
-		return cli.Usagef("unknown application %q (want signal, fft, fms)", app)
+	model, err := cli.LoadModel(app)
+	if err != nil {
+		return err
 	}
 	var overhead platform.OverheadModel
 	switch overheadName {
@@ -118,8 +92,8 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 		return err
 	}
 
-	net := spec.build()
-	tg, err := taskgraph.DeriveOpts(net, taskgraph.Options{Workers: workers})
+	fmt.Printf("model %s digest %s\n", model.Name, model.Digest[:12])
+	tg, err := taskgraph.DeriveOpts(model.Net, taskgraph.Options{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -136,7 +110,7 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 		Frames:         frames,
 		SporadicEvents: evs,
 		Overhead:       overhead,
-		Inputs:         spec.inputs(frames),
+		Inputs:         model.Inputs(frames),
 	}
 	// Compile the schedule once; the plan replays all requested frames
 	// (and any future re-runs) without re-interning the network. The
@@ -184,10 +158,16 @@ func run(app string, m, frames, workers int, overheadName, eventSpec string, con
 	}
 
 	if zerocheck {
+		// The reference needs a fresh network: LoadModel rebuilds one
+		// (same digest, since construction is deterministic).
+		refModel, err := cli.LoadModel(app)
+		if err != nil {
+			return err
+		}
 		horizon := tg.Hyperperiod.MulInt(int64(frames))
-		ref, err := core.RunZeroDelay(spec.build(), horizon, core.ZeroDelayOptions{
+		ref, err := core.RunZeroDelay(refModel.Net, horizon, core.ZeroDelayOptions{
 			SporadicEvents: evs,
-			Inputs:         spec.inputs(frames),
+			Inputs:         refModel.Inputs(frames),
 		})
 		if err != nil {
 			return fmt.Errorf("zero-delay reference: %w", err)

@@ -28,6 +28,7 @@
 package fppn
 
 import (
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/feas"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/rational"
 	"repro/internal/rt"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/taskgraph"
 	"repro/internal/unisched"
 )
@@ -368,3 +370,38 @@ func RunUniprocessor(net *Network, horizon Time, pr UniPriority,
 	events map[string][]Time, inputs map[string][]Value) (*UniFunctionalResult, error) {
 	return unisched.RunFunctional(net, horizon, pr, events, inputs, false)
 }
+
+// Serving-layer types (packages internal/cli and internal/serve): the
+// content-addressing and caching surface behind the fppnd daemon.
+type (
+	// Model is a loaded, canonicalized and content-digested network.
+	Model = cli.Model
+	// ServeOptions tunes a serving instance (cache budget, request
+	// limits, compile fan-out).
+	ServeOptions = serve.Options
+	// ServeStats is one point-in-time snapshot of a serving instance's
+	// counters and latency histograms.
+	ServeStats = serve.Stats
+)
+
+// LoadModel resolves a model spec — a registry application name
+// ("signal", "fft", "fft-overhead", "fms", "fms-original") or a synthetic
+// "scale:N" network — to a built network with its canonical JSON and
+// sha256 content digest.
+func LoadModel(spec string) (*Model, error) { return cli.LoadModel(spec) }
+
+// CanonicalModel returns the canonical JSON serialization of a network:
+// the deterministic export used for content addressing, byte-identical
+// across runs for structurally identical models.
+func CanonicalModel(net *Network) ([]byte, error) { return cli.CanonicalJSON(net) }
+
+// ModelDigest returns the sha256 hex digest of the canonical JSON — the
+// content address under which the serving layer caches every pipeline
+// stage derived from the model.
+func ModelDigest(net *Network) (string, error) { return cli.DigestNetwork(net) }
+
+// NewServer returns the compile-and-simulate HTTP service of cmd/fppnd:
+// a content-addressed plan cache with singleflight compiles and pooled
+// run states behind POST /compile, /simulate, /analyze and GET /healthz,
+// /metrics. The returned handler is safe for concurrent use.
+func NewServer(opts ServeOptions) *serve.Server { return serve.NewServer(opts) }

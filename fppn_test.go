@@ -1,8 +1,12 @@
 package fppn_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	fppn "repro"
@@ -258,5 +262,46 @@ func TestPublicAPILint(t *testing.T) {
 	rules[0].Code = "mutated"
 	if fppn.LintRules()[0].Code != "FPPN001" {
 		t.Error("LintRules must return a copy")
+	}
+}
+
+func TestPublicAPIServingLayer(t *testing.T) {
+	model, err := fppn.LoadModel("signal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := fppn.CanonicalModel(model.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(canon) == 0 {
+		t.Fatal("empty canonical JSON")
+	}
+	digest, err := fppn.ModelDigest(model.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != model.Digest {
+		t.Fatalf("ModelDigest %s != LoadModel digest %s", digest, model.Digest)
+	}
+	// Content addressing: a structurally identical rebuild digests the
+	// same, and the digest survives the HTTP layer.
+	again, err := fppn.LoadModel("signal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != digest {
+		t.Fatal("digest not stable across rebuilds")
+	}
+
+	srv := fppn.NewServer(fppn.ServeOptions{})
+	body := bytes.NewReader([]byte(`{"app":"signal"}`))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/compile", body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("compile via facade server: status %d: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), digest) {
+		t.Fatalf("compile response does not carry the model digest:\n%s", w.Body.String())
 	}
 }

@@ -190,6 +190,11 @@ func spawn() {
 		"internal/sched/bad.go":   "package sched\n\nfunc spawn() {\n\tgo func() {}()\n}\n",
 		"internal/parallel/ok.go": worker,
 		"internal/rt/ok.go":       worker,
+		// The serving layer is on the allowlist: its request-level
+		// concurrency is pinned by the serve differential harness.
+		"internal/serve/ok.go": worker,
+		"cmd/fppnd/ok.go":      worker,
+		"cmd/fppnload/ok.go":   worker,
 	})
 	if len(diags) != 1 || diags[0].Analyzer != "nakedgo" {
 		t.Fatalf("want one nakedgo diagnostic, got:\n%s", messages(diags))

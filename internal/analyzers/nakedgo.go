@@ -6,12 +6,18 @@ import (
 
 // concurrencyDirs are the audited concurrency layers: internal/parallel's
 // deterministic worker pool, internal/plan's compiled
-// goroutine-per-processor runner with its virtual clock, and internal/rt's
-// reference copy of that runner.
+// goroutine-per-processor runner with its virtual clock, internal/rt's
+// reference copy of that runner, and the serving layer — internal/serve's
+// singleflight cache, cmd/fppnd's listener/drainer and cmd/fppnload's
+// closed-loop client workers — whose request-level concurrency is pinned
+// byte-identical to sequential runs by the serve differential harness.
 var concurrencyDirs = []string{
 	"internal/parallel",
 	"internal/plan",
 	"internal/rt",
+	"internal/serve",
+	"cmd/fppnd",
+	"cmd/fppnload",
 }
 
 // NakedGo forbids `go` statements everywhere else. The differential tests

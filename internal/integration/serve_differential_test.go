@@ -1,0 +1,169 @@
+// Differential harness for the serving layer: one cached plan.Plan shared
+// by many concurrent /simulate requests through pooled RunStates must
+// produce byte-identical reports to a fresh sequential run of the same
+// pipeline — pooling and caching may never change results, only cost.
+// Run under -race (make race) this also stresses the singleflight and
+// pool hand-off paths for data races.
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/taskgraph"
+)
+
+// simulateJSON posts one /simulate and returns the raw response body.
+func simulateJSON(t *testing.T, s *serve.Server, req map[string]any) []byte {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/simulate", bytes.NewReader(body)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("simulate: status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Body.Bytes()
+}
+
+// TestServeConcurrentRequestsMatchSequential hammers one warm cache entry
+// from many goroutines and requires every response to be byte-identical
+// to the sequential reference answer: the pooled-state fast path must be
+// observationally equivalent to a cold run.
+func TestServeConcurrentRequestsMatchSequential(t *testing.T) {
+	t.Parallel()
+	for _, app := range []string{"signal", "fms"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			s := serve.NewServer(serve.Options{})
+			req := map[string]any{"app": app, "frames": 3}
+			// First request warms the cache ("cached": false); the second
+			// is the steady-state reference every hammered response must
+			// match byte for byte.
+			simulateJSON(t, s, req)
+			ref := simulateJSON(t, s, req)
+
+			const workers = 8
+			const perWorker = 10
+			var wg sync.WaitGroup
+			diverged := make([][]byte, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						got := simulateJSON(t, s, req)
+						if !bytes.Equal(got, ref) {
+							diverged[w] = got
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, got := range diverged {
+				if got != nil {
+					t.Fatalf("worker %d diverged from the sequential reference:\nref %s\ngot %s", w, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestServeMatchesDirectPipeline compares the daemon's answer against the
+// same pipeline assembled by hand from the public packages: same model
+// loader, same scheduler, same runner — the serving layer may add caching
+// but not computation.
+func TestServeMatchesDirectPipeline(t *testing.T) {
+	t.Parallel()
+	const frames = 2
+	model, err := cli.LoadModel("signal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := taskgraph.Derive(model.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cli.ParseHeuristic("alap-edf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := sched.ListSchedule(tg, 2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Compile(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.NewRunState().Run(plan.Config{Frames: frames, Inputs: model.Inputs(frames)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.NewServer(serve.Options{})
+	var resp serve.SimulateResponse
+	if err := json.Unmarshal(simulateJSON(t, s, map[string]any{"app": "signal", "frames": frames}), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Digest != model.Digest {
+		t.Fatalf("daemon digest %s != direct digest %s", resp.Digest, model.Digest)
+	}
+	if resp.Entries != len(rep.Entries) || resp.Makespan != rep.Makespan.String() {
+		t.Fatalf("daemon diverged from the direct pipeline: %+v vs %d entries makespan %v",
+			resp, len(rep.Entries), rep.Makespan)
+	}
+	for ch, samples := range rep.Outputs {
+		if resp.Outputs[ch] != len(samples) {
+			t.Fatalf("output %s: daemon reports %d samples, direct run %d", ch, resp.Outputs[ch], len(samples))
+		}
+	}
+}
+
+// TestServeSingleflightUnderRace fires concurrent cold traffic at many
+// distinct keys at once; the invariant (compiles == distinct keys) holds
+// whatever the interleaving, and -race checks the flight hand-off.
+func TestServeSingleflightUnderRace(t *testing.T) {
+	t.Parallel()
+	s := serve.NewServer(serve.Options{})
+	ms := []int{1, 2, 3, 4}
+	const clientsPerKey = 4
+
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		for c := 0; c < clientsPerKey; c++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				simulateJSON(t, s, map[string]any{"app": "signal", "m": m})
+			}(m)
+		}
+	}
+	wg.Wait()
+
+	var stats serve.Stats
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Compiles != int64(len(ms)) {
+		t.Fatalf("%d distinct keys compiled %d times, want one compile per key",
+			len(ms), stats.Cache.Compiles)
+	}
+	if stats.Cache.Misses != int64(len(ms)) {
+		t.Fatalf("Misses = %d, want %d", stats.Cache.Misses, len(ms))
+	}
+}

@@ -168,6 +168,9 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 	if cfg.Pipelined {
 		return nil, fmt.Errorf("rt: RunConcurrent does not support pipelined frames; use Run")
 	}
+	if rs.Released() {
+		return nil, fmt.Errorf("rt: RunConcurrent on a RunState parked in its owner's pool; Acquire it first")
+	}
 	exec := cfg.Exec
 	if exec == nil {
 		exec = platform.WCETExec()

@@ -22,6 +22,9 @@ func (rs *RunState) Run(cfg Config) (*Report, error) {
 	if cfg.Frames < 1 {
 		return nil, fmt.Errorf("rt: %d frames", cfg.Frames)
 	}
+	if rs.Released() {
+		return nil, fmt.Errorf("rt: Run on a RunState parked in its owner's pool; Acquire it first")
+	}
 	exec := cfg.Exec
 	if exec == nil {
 		exec = platform.WCETExec()

@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/staticflow"
@@ -14,12 +16,23 @@ import (
 //
 // Reusing one RunState across runs is the steady-state replay path: after
 // the first run warms the arenas, subsequent runs of the same shape execute
-// without allocating. The price of pooling is aliasing — the *Report (and
-// the plan slices from planInto) returned by a run on this state is valid
-// only until the next Run/RunConcurrent call on the same state; callers
-// that need to keep a report across runs must deep-copy it first.
+// without allocating.
+//
+// Invariant — report lifetime: the *Report (and the plan slices from
+// planInto) returned by a run on this state aliases the state's arenas and
+// is valid only until the next Run/RunConcurrent call on the same state;
+// callers that need to keep a report across runs must deep-copy it first.
+// Pool owners (internal/serve) must therefore serialize or copy a request's
+// report before the state is released back to the free pool.
 type RunState struct {
 	p *Plan
+
+	// released tracks pool membership for owners that recycle states
+	// through a free pool (Acquire/Release): 1 while the state is parked
+	// in the pool, 0 while checked out. Accessed atomically so a buggy
+	// double-release from two goroutines still hands the state to the
+	// pool exactly once.
+	released uint32
 
 	// Capacity maps are cached per frame count: the maps are read-only
 	// for the machine, so repeated runs of the same frame count share
@@ -69,9 +82,36 @@ func (rs *RunState) Plan() *Plan { return rs.p }
 // Reset drops every pooled buffer, returning the state to its NewRunState
 // condition: the next run starts cold and reallocates its arenas. Use it to
 // release the memory of an oversized past run; steady-state callers never
-// need it (Run re-initializes the pools itself).
+// need it (Run re-initializes the pools itself). Reset preserves the
+// Acquire/Release pool-membership flag, so resetting a state cannot smuggle
+// it back into an owner's free pool a second time.
 func (rs *RunState) Reset() {
+	released := atomic.LoadUint32(&rs.released)
 	*rs = RunState{p: rs.p, capFrames: -1}
+	atomic.StoreUint32(&rs.released, released)
+}
+
+// Acquire marks the state checked out of an owner-managed free pool. Pool
+// owners call it on every state handed to a request — fresh or recycled —
+// so a later Release is accepted exactly once.
+func (rs *RunState) Acquire() {
+	atomic.StoreUint32(&rs.released, 0)
+}
+
+// Release marks the state as returned to an owner-managed free pool and
+// reports whether this call performed the hand-back: the first Release
+// after an Acquire returns true, every further one returns false. Owners
+// must park the state (sync.Pool.Put or equivalent) only when Release
+// returns true — that makes an accidental double-release idempotent
+// instead of handing one state to two concurrent requests.
+func (rs *RunState) Release() bool {
+	return atomic.CompareAndSwapUint32(&rs.released, 0, 1)
+}
+
+// Released reports whether the state is currently parked in an
+// owner-managed free pool.
+func (rs *RunState) Released() bool {
+	return atomic.LoadUint32(&rs.released) == 1
 }
 
 // capacities returns the FIFO ring and external-output capacity hints for

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers latencies from 1 ns to ~9 s in powers of two; the
+// last bucket absorbs anything slower.
+const histBuckets = 34
+
+// Histogram is a lock-free log2-bucketed latency histogram: Observe is two
+// atomic adds on the hot path, quantiles are reconstructed from the bucket
+// counts on read. Bucket i holds durations whose nanosecond count has bit
+// length i, i.e. [2^(i-1), 2^i).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Quantile returns the approximate q-quantile in nanoseconds (q in [0,1]):
+// the geometric midpoint of the bucket holding the q-th sample. Zero when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			// Bucket b spans [2^(b-1), 2^b): midpoint 0.75·2^b.
+			return 0.75 * math.Pow(2, float64(b))
+		}
+	}
+	return 0.75 * math.Pow(2, float64(histBuckets))
+}
+
+// Snapshot summarizes the histogram for the /metrics document.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	count := h.count.Load()
+	snap := HistogramSnapshot{Count: count}
+	if count > 0 {
+		snap.MeanUs = round2(float64(h.sum.Load()) / float64(count) / 1e3)
+		snap.P50Us = round2(h.Quantile(0.50) / 1e3)
+		snap.P99Us = round2(h.Quantile(0.99) / 1e3)
+	}
+	return snap
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// HistogramSnapshot is the serialized form of a latency histogram.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// Metrics aggregates the daemon's counters. All fields are updated with
+// atomics; the struct is shared by reference and never copied.
+type Metrics struct {
+	// Requests counts handled API requests; Errors the subset that
+	// returned a non-2xx status.
+	Requests atomic.Int64
+	Errors   atomic.Int64
+
+	// Cache traffic: Hits are served from the LRU, Misses triggered a
+	// compile, Coalesced piggybacked on another request's in-flight
+	// compile (singleflight), Evictions removed an entry to fit the cost
+	// budget. Compiles counts actual pipeline executions — on a warm
+	// cache it stays flat while Hits grows.
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Coalesced atomic.Int64
+	Evictions atomic.Int64
+	Compiles  atomic.Int64
+
+	// StatesCreated counts plan.RunState constructions; warm /simulate
+	// traffic reuses pooled states, so on a steady workload this stays at
+	// the high-water concurrency mark instead of growing per request.
+	StatesCreated atomic.Int64
+
+	// Per-endpoint latency histograms.
+	CompileLatency  Histogram
+	SimulateLatency Histogram
+	AnalyzeLatency  Histogram
+}
+
+// CacheStats is the cache section of a Stats snapshot.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"inflight_coalesced"`
+	Evictions     int64 `json:"evictions"`
+	Compiles      int64 `json:"compiles"`
+	StatesCreated int64 `json:"states_created"`
+	Entries       int   `json:"entries"`
+	CostUsed      int64 `json:"cost_used"`
+	CostBudget    int64 `json:"cost_budget"`
+}
+
+// Stats is one point-in-time snapshot of every counter, served by
+// GET /metrics and publishable as an expvar.Func from the daemon.
+type Stats struct {
+	UptimeS  float64                      `json:"uptime_s"`
+	Requests int64                        `json:"requests"`
+	Errors   int64                        `json:"errors"`
+	Cache    CacheStats                   `json:"cache"`
+	Latency  map[string]HistogramSnapshot `json:"latency"`
+}

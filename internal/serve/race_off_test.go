@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled relaxes pool-reuse assertions when the race detector is on:
+// race-mode sync.Pool drops a random fraction of Puts by design, so
+// "zero new states on warm traffic" only holds in normal builds.
+const raceEnabled = false
