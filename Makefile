@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet vet-custom analyze race fuzz bench bench-json bench-serve bench-compare experiments serve smoke golden-update lint-golden-update
+.PHONY: all build test vet vet-custom analyze race fuzz bench bench-json bench-serve bench-analyzers bench-compare experiments serve smoke golden-update lint-golden-update fppnlint-golden-update
 
 all: build vet vet-custom analyze test
 
@@ -14,9 +14,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Run the repository's own determinism analyzers (internal/analyzers:
-# noclock, maporder, nakedgo, plus the interprocedural jobreach and
-# planfreeze call-graph passes) over the whole module.
+# Run the repository's own determinism and concurrency-safety analyzers
+# (internal/analyzers: noclock, maporder, nakedgo, plus the
+# interprocedural jobreach, planfreeze, lockorder and poollife
+# call-graph passes) over the whole module.
 vet-custom:
 	$(GO) run ./cmd/fppnlint-go .
 
@@ -62,6 +63,12 @@ bench-json:
 bench-compare:
 	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_fppn.json
 
+# Refresh only the analyzer-cost benchmark (full-module CheckAll wall
+# time) inside the committed record.
+bench-analyzers:
+	$(GO) test -bench AnalyzersModule -benchmem -run '^$$' ./internal/analyzers | \
+		$(GO) run ./cmd/benchjson -merge BENCH_fppn.json -o BENCH_fppn.json
+
 # Refresh only the serving-tier benchmarks (BenchmarkServe*, the direct
 # baseline and the digest cost) inside the committed record, leaving the
 # rest of BENCH_fppn.json untouched.
@@ -98,3 +105,8 @@ golden-update:
 # Rewrite the golden fppnvet reports after an intended diagnostics change.
 lint-golden-update:
 	$(GO) test ./internal/lint -run TestGolden -update
+
+# Rewrite the golden fppnlint-go -json/-sarif reports over the
+# planted-bug fixture module after an intended diagnostics change.
+fppnlint-golden-update:
+	$(GO) test ./cmd/fppnlint-go -run TestGoldenReports -update

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +15,7 @@ import (
 // The repository itself must be clean under its own analyzers.
 func TestRepositoryIsClean(t *testing.T) {
 	var out bytes.Buffer
-	status, err := run(&out, filepath.Join("..", ".."), false)
+	status, err := run(&out, filepath.Join("..", ".."), formatText)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestDiagnosticsAndJSON(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	status, err := run(&out, root, false)
+	status, err := run(&out, root, formatText)
 	if err != nil || status != exitDiagnostics {
 		t.Fatalf("status %d, err %v:\n%s", status, err, out.String())
 	}
@@ -47,7 +48,7 @@ func TestDiagnosticsAndJSON(t *testing.T) {
 	}
 
 	out.Reset()
-	if status, err := run(&out, root, true); err != nil || status != exitDiagnostics {
+	if status, err := run(&out, root, formatJSON); err != nil || status != exitDiagnostics {
 		t.Fatalf("json: status %d, err %v", status, err)
 	}
 	var diags []analyzers.Diagnostic
@@ -60,7 +61,49 @@ func TestDiagnosticsAndJSON(t *testing.T) {
 }
 
 func TestBadRoot(t *testing.T) {
-	if status, err := run(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing"), false); err == nil || status != exitUsage {
+	if status, err := run(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing"), formatText); err == nil || status != exitUsage {
 		t.Errorf("missing root: status %d, err %v", status, err)
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden reports")
+
+// The -json and -sarif reports over the planted-bug fixture module must
+// be byte-identical to the goldens (make fppnlint-golden-update rewrites
+// them).
+func TestGoldenReports(t *testing.T) {
+	root := filepath.Join("testdata", "src", "fixture")
+	for _, tc := range []struct{ format, golden string }{
+		{formatJSON, "golden.json"},
+		{formatSARIF, "golden.sarif"},
+	} {
+		var out bytes.Buffer
+		status, err := run(&out, root, tc.format)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if status != exitDiagnostics {
+			t.Fatalf("%s: planted bugs not found (status %d):\n%s", tc.format, status, out.String())
+		}
+		for _, want := range []string{"lockorder", "poollife"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%s report missing a %s finding:\n%s", tc.format, want, out.String())
+			}
+		}
+		path := filepath.Join("testdata", tc.golden)
+		if *update {
+			if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%s report differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+				tc.format, path, out.String(), want)
+		}
 	}
 }

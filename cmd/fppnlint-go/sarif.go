@@ -1,0 +1,117 @@
+package main
+
+// SARIF 2.1.0 output for fppnlint-go, the subset GitHub code scanning
+// ingests: one run, one driver with a rule per registered analyzer, one
+// result per diagnostic with a physical location. Output is fully
+// deterministic (diagnostics arrive position-sorted, rules in registry
+// order) so the reports can be byte-pinned in testdata.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"repro/internal/analyzers"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the diagnostics as an indented SARIF log. File URIs
+// are slash-separated paths as reported by the analyzers (relative when
+// root is relative), anchored at %SRCROOT% for code-scanning upload.
+func writeSARIF(w io.Writer, diags []analyzers.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers.All)+len(analyzers.AllModule))
+	for _, a := range analyzers.All {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	for _, a := range analyzers.AllModule {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(d.Position.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "fppnlint-go",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

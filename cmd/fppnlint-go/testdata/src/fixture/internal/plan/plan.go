@@ -1,0 +1,21 @@
+// Package plan is a minimal stand-in for the real plan package: just
+// enough of the RunState pooling protocol for the poollife analyzer to
+// track.
+package plan
+
+// Report aliases its RunState's arenas; it is valid only until the next
+// Run or Reset on that state.
+type Report struct{ Entries []int }
+
+// RunState is one pooled per-run scratch state.
+type RunState struct{ inUse bool }
+
+func (rs *RunState) Acquire() bool { return true }
+
+func (rs *RunState) Release() bool { return true }
+
+func (rs *RunState) Released() bool { return !rs.inUse }
+
+func (rs *RunState) Reset() {}
+
+func (rs *RunState) Run() (*Report, error) { return &Report{}, nil }

@@ -1,0 +1,48 @@
+// Package serve plants one bug per new concurrency analyzer, pinned by
+// the golden reports: a lock-order inversion between Cache.mu and
+// Index.mu (lockorder) and a report retained across a Reset on its
+// owning state (poollife).
+package serve
+
+import (
+	"sync"
+
+	"fixture/internal/plan"
+)
+
+type Cache struct{ mu sync.Mutex }
+
+type Index struct{ mu sync.Mutex }
+
+// LockForInsert acquires the cache lock, then the index lock.
+func LockForInsert(c *Cache, ix *Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	LockIndex(ix)
+}
+
+// LockForEvict acquires the index lock, then the cache lock — the
+// inversion that deadlocks against LockForInsert.
+func LockForEvict(c *Cache, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	LockCache(c)
+}
+
+func LockCache(c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func LockIndex(ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+}
+
+// StaleReport reads a report after a Reset on the state that owns its
+// arenas.
+func StaleReport(rs *plan.RunState) int {
+	rep, _ := rs.Run()
+	rs.Reset()
+	return len(rep.Entries)
+}

@@ -1,0 +1,25 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkAnalyzersModule measures a full-module CheckAll — one parse
+// of the repository plus every per-directory and interprocedural pass —
+// which is the cost `make vet-custom` pays on each run. Tracked in
+// BENCH_fppn.json (make bench-analyzers) so analyzer growth shows up in
+// bench-compare like every other tier.
+func BenchmarkAnalyzersModule(b *testing.B) {
+	root := filepath.Join("..", "..")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		diags, err := CheckAll(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repository not clean: %d diagnostics", len(diags))
+		}
+	}
+}

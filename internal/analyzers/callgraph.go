@@ -97,41 +97,89 @@ func newCallGraph(p *ModulePass) *callGraph {
 
 // resolveCalls fills one node's outgoing call edges.
 func (g *callGraph) resolveCalls(n *funcNode) {
-	path := n.pkg.Path
 	ast.Inspect(n.body, func(node ast.Node) bool {
 		call, ok := node.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		switch fun := call.Fun.(type) {
-		case *ast.Ident:
-			if key, ok := g.funcs[path][fun.Name]; ok {
-				n.addCall(key)
-			}
-		case *ast.SelectorExpr:
-			base, ok := fun.X.(*ast.Ident)
-			if !ok {
-				// Method call on a compound expression: bind by name
-				// within the package.
-				for _, key := range g.methods[path][fun.Sel.Name] {
-					n.addCall(key)
-				}
-				return true
-			}
-			if imp := importedPath(n.file, base.Name); imp != "" {
-				if g.pass.Internal(imp) {
-					if key, ok := g.funcs[imp][fun.Sel.Name]; ok {
-						n.addCall(key)
-					}
-				}
-				return true
-			}
-			for _, key := range g.methods[path][fun.Sel.Name] {
-				n.addCall(key)
-			}
+		for _, key := range g.calleeKeys(n, call) {
+			n.addCall(key)
 		}
 		return true
 	})
+}
+
+// calleeKeys resolves one call expression to its candidate graph nodes,
+// following the conservative rules documented at the top of this file:
+// plain identifiers bind to same-package functions, pkg.F binds through
+// the file's imports to module-internal packages, and x.M binds to every
+// same-package method named M.
+func (g *callGraph) calleeKeys(n *funcNode, call *ast.CallExpr) []string {
+	path := n.pkg.Path
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if key, ok := g.funcs[path][fun.Name]; ok {
+			return []string{key}
+		}
+	case *ast.SelectorExpr:
+		base, ok := fun.X.(*ast.Ident)
+		if !ok {
+			// Method call on a compound expression: bind by name
+			// within the package.
+			return g.methods[path][fun.Sel.Name]
+		}
+		if imp := importedPath(n.file, base.Name); imp != "" {
+			if g.pass.Internal(imp) {
+				if key, ok := g.funcs[imp][fun.Sel.Name]; ok {
+					return []string{key}
+				}
+			}
+			return nil
+		}
+		return g.methods[path][fun.Sel.Name]
+	}
+	return nil
+}
+
+// moduleTypeOf resolves a receiver, parameter, or type-assertion type
+// expression to a module-internal (module-relative directory, type name)
+// pair, unwrapping pointers: a bare identifier names a type of the same
+// package, pkg.T resolves through the file's imports.
+func moduleTypeOf(p *ModulePass, n *funcNode, t ast.Expr) (dir, name string, ok bool) {
+	return moduleTypeOfIn(p, n.file, n.pkg.Dir, t)
+}
+
+// moduleTypeOfIn is moduleTypeOf with an explicit file (for import
+// resolution) and package directory (for bare identifiers), so types can
+// be resolved in the context of their declaring struct rather than the
+// current function.
+func moduleTypeOfIn(p *ModulePass, file *ast.File, pkgDir string, t ast.Expr) (dir, name string, ok bool) {
+	for {
+		star, isStar := t.(*ast.StarExpr)
+		if !isStar {
+			break
+		}
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return pkgDir, t.Name, true
+	case *ast.SelectorExpr:
+		base, isIdent := t.X.(*ast.Ident)
+		if !isIdent {
+			return "", "", false
+		}
+		imp := importedPath(file, base.Name)
+		if !p.Internal(imp) {
+			return "", "", false
+		}
+		rel := strings.TrimPrefix(imp, p.Module+"/")
+		if rel == p.Module {
+			rel = "."
+		}
+		return rel, t.Sel.Name, true
+	}
+	return "", "", false
 }
 
 // receiverType names a method's receiver type, unwrapping pointers and

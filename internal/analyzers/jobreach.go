@@ -34,6 +34,7 @@ var JobReach = &ModuleAnalyzer{
 // jobSink is one nondeterministic operation inside a function body.
 type jobSink struct {
 	pos  token.Pos
+	rule string // coarse class for dedupe: clock, rand, maprange, go
 	what string
 }
 
@@ -173,18 +174,18 @@ func (g *jobGraph) findSinks(n *funcNode) []jobSink {
 	ast.Inspect(n.body, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.GoStmt:
-			sinks = append(sinks, jobSink{node.Pos(), "a go statement"})
+			sinks = append(sinks, jobSink{node.Pos(), "go", "a go statement"})
 		case *ast.SelectorExpr:
 			base, ok := node.X.(*ast.Ident)
 			if !ok {
 				return true
 			}
 			if timeName != "" && base.Name == timeName && bannedTimeFuncs[node.Sel.Name] {
-				sinks = append(sinks, jobSink{node.Pos(),
+				sinks = append(sinks, jobSink{node.Pos(), "clock",
 					fmt.Sprintf("the wall-clock call %s.%s", base.Name, node.Sel.Name)})
 			}
 			if randName != "" && base.Name == randName {
-				sinks = append(sinks, jobSink{node.Pos(),
+				sinks = append(sinks, jobSink{node.Pos(), "rand",
 					fmt.Sprintf("the global math/rand use %s.%s", base.Name, node.Sel.Name)})
 			}
 		}
@@ -193,39 +194,57 @@ func (g *jobGraph) findSinks(n *funcNode) []jobSink {
 	path := n.pkg.Path
 	for _, pos := range mapRangePositions(n.ftype, n.body,
 		g.fieldMaps[path], g.fieldNested[path], g.pkgMaps[path], g.pkgNested[path]) {
-		sinks = append(sinks, jobSink{pos, "an unsorted map-range collection"})
+		sinks = append(sinks, jobSink{pos, "maprange", "an unsorted map-range collection"})
 	}
 	sort.Slice(sinks, func(i, j int) bool { return sinks[i].pos < sinks[j].pos })
 	return sinks
 }
 
-// search runs a breadth-first search from each root and reports every
-// sink the first time some root reaches it, with the call path.
+// search runs a breadth-first search from each root, dedupes findings by
+// (sink position, rule) — two roots reaching one sink through a shared
+// helper is one finding — and reports each with the shortest call path
+// any root produces (ties keep the first root in declaration order).
 func (g *jobGraph) search(roots []string) {
-	reported := make(map[string]bool)
+	type finding struct {
+		sink  jobSink
+		root  string
+		chain string
+		depth int
+	}
+	best := make(map[string]*finding)
+	var order []string
 	for _, root := range roots {
 		parent := map[string]string{root: ""}
+		depth := map[string]int{root: 0}
 		queue := []string{root}
 		for len(queue) > 0 {
 			key := queue[0]
 			queue = queue[1:]
 			n := g.nodes[key]
 			for _, s := range g.sinks[key] {
-				id := g.pass.Fset.Position(s.pos).String() + "|" + s.what
-				if reported[id] {
-					continue
+				id := g.pass.Fset.Position(s.pos).String() + "|" + s.rule
+				if f := best[id]; f == nil || depth[key] < f.depth {
+					if f == nil {
+						order = append(order, id)
+					}
+					best[id] = &finding{
+						sink: s, root: root, chain: g.chain(parent, key), depth: depth[key],
+					}
 				}
-				reported[id] = true
-				g.pass.Reportf(s.pos,
-					"%s is reachable from job function %s (call path: %s); job behaviors must stay deterministic",
-					s.what, g.nodes[root].label, g.chain(parent, key))
 			}
 			for _, c := range n.calls {
 				if _, seen := parent[c]; !seen {
 					parent[c] = key
+					depth[c] = depth[key] + 1
 					queue = append(queue, c)
 				}
 			}
 		}
+	}
+	for _, id := range order {
+		f := best[id]
+		g.pass.Reportf(f.sink.pos,
+			"%s is reachable from job function %s (call path: %s); job behaviors must stay deterministic",
+			f.sink.what, g.nodes[f.root].label, f.chain)
 	}
 }

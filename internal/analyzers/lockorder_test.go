@@ -1,0 +1,204 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+// The defining case: two functions acquire the same two mutexes in
+// opposite orders through helpers. The cycle is reported once, with the
+// full call-path witness of both edges.
+func TestLockOrderCycleTwoPaths(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/serve/lock.go": `package serve
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	LockB(b)
+}
+
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	LockA(a)
+}
+
+func LockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+func LockB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+`,
+	}), "lockorder")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one lockorder cycle diagnostic, got:\n%s", messages(diags))
+	}
+	msg := diags[0].Message
+	for _, want := range []string{
+		"potential deadlock",
+		"lock-order cycle",
+		"serve.LockAB → serve.LockB",
+		"serve.LockBA → serve.LockA",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+}
+
+// The same two mutexes acquired in a consistent order everywhere is not
+// a deadlock.
+func TestLockOrderConsistentOrderClean(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/serve/lock.go": `package serve
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func First(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func Second(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+`,
+	}), "lockorder")
+	if len(diags) != 0 {
+		t.Fatalf("consistent order must be clean, got:\n%s", messages(diags))
+	}
+}
+
+// A helper with a called-with-lock-held convention that re-locks the
+// same mutex self-deadlocks: the entry-state propagation sees the lock
+// held on every internal path into the helper.
+func TestLockOrderSelfDeadlockViaEntryState(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/serve/lock.go": `package serve
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size()
+}
+
+func (c *C) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+`,
+	}), "lockorder")
+	if len(diags) != 1 {
+		t.Fatalf("want one self-deadlock diagnostic, got:\n%s", messages(diags))
+	}
+	msg := diags[0].Message
+	for _, want := range []string{"serve.C.mu", "already held", "not reentrant", "serve.C.size"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+}
+
+// A field written under the struct's mutex but read bare is mixed
+// access; an fppnlint:ignore comment on the bare read silences it.
+func TestLockOrderMixedAccessAndSuppression(t *testing.T) {
+	src := func(marker string) map[string]string {
+		return map[string]string{
+			"go.mod": "module fixture\n\ngo 1.22\n",
+			"internal/serve/lock.go": `package serve
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Inc() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) Peek() int {
+	return s.n ` + marker + `
+}
+`,
+		}
+	}
+	diags := only(checkAll(t, src("")), "lockorder")
+	if len(diags) != 1 {
+		t.Fatalf("want one mixed-access diagnostic, got:\n%s", messages(diags))
+	}
+	msg := diags[0].Message
+	for _, want := range []string{"serve.S.n", "written under serve.S.mu", "accessed without it"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+	if diags := only(checkAll(t, src("// fppnlint:ignore -- snapshot read, audited")), "lockorder"); len(diags) != 0 {
+		t.Fatalf("fppnlint:ignore not honoured:\n%s", messages(diags))
+	}
+}
+
+// A goroutine body is a separate scope: locks held at the spawn site are
+// not held inside the literal, so lock → go → same lock is not a
+// self-deadlock.
+func TestLockOrderGoroutineScopeClean(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/serve/lock.go": `package serve
+
+import "sync"
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *G) Spawn() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}()
+}
+`,
+	}), "lockorder")
+	if len(diags) != 0 {
+		t.Fatalf("goroutine literal must start with an empty held set, got:\n%s", messages(diags))
+	}
+}

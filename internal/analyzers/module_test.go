@@ -208,6 +208,44 @@ func shared() error {
 	}
 }
 
+// Two roots reaching one sink through a shared helper is one finding,
+// and the witness is the shortest call path even when a root with a
+// longer path is discovered first.
+func TestJobReachDedupeKeepsShortestPath(t *testing.T) {
+	diags := only(checkAll(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/apps/demo/demo.go": `package demo
+
+import "time"
+
+type Long struct{}
+
+func (Long) Step() error { return indirect() }
+
+type Short struct{}
+
+func (Short) Step() error { return stamp() }
+
+func indirect() error { return stamp() }
+
+func stamp() error {
+	_ = time.Now()
+	return nil
+}
+`,
+	}), "jobreach")
+	if len(diags) != 1 {
+		t.Fatalf("shared sink must report once, got:\n%s", messages(diags))
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "demo.Short.Step → demo.stamp") {
+		t.Errorf("witness is not the shortest path: %s", msg)
+	}
+	if strings.Contains(msg, "demo.indirect") {
+		t.Errorf("witness kept the longer first-root path: %s", msg)
+	}
+}
+
 // The interprocedural pass must produce zero findings on the repository
 // itself: the real job behaviors are deterministic all the way down.
 func TestJobReachRepositoryClean(t *testing.T) {

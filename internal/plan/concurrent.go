@@ -137,6 +137,13 @@ func (c *vclock) Now() Time {
 	return c.now
 }
 
+// Err returns the run's failure, if any, under the clock's lock.
+func (c *vclock) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // fail aborts the run with an error.
 func (c *vclock) fail(err error) {
 	c.mu.Lock()
@@ -270,8 +277,8 @@ func (rs *RunState) RunConcurrent(cfg Config) (*Report, error) {
 		}(proc)
 	}
 	wg.Wait()
-	if clock.err != nil {
-		return nil, clock.err
+	if err := clock.Err(); err != nil {
+		return nil, err
 	}
 
 	report := &rs.report

@@ -135,6 +135,13 @@ func (c *vclock) Now() Time {
 	return c.now
 }
 
+// Err returns the run's failure, if any, under the clock's lock.
+func (c *vclock) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // fail aborts the run with an error.
 func (c *vclock) fail(err error) {
 	c.mu.Lock()
@@ -263,8 +270,8 @@ func RunConcurrentReference(s *sched.Schedule, cfg Config) (*Report, error) {
 		}(p)
 	}
 	wg.Wait()
-	if clock.err != nil {
-		return nil, clock.err
+	if err := clock.Err(); err != nil {
+		return nil, err
 	}
 
 	report := &Report{Schedule: s, Frames: cfg.Frames}
